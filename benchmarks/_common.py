@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper figure/table at *benchmark scale*
+(smaller topology/workload than the paper so the whole suite runs in
+minutes) and:
+
+* prints the paper-shaped series/table,
+* writes it to ``benchmarks/results/<name>.txt`` so the output survives
+  pytest's capture, and
+* asserts the qualitative claim of the figure (who wins, direction of
+  the effect), so a regression in the algorithms fails the bench.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, title: str, body: str) -> str:
+    """Persist and echo one regenerated figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"== {title} ==\n{body}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fee-minimizing payment splitting (program (1) of the paper, §3.2).
+
+Builds the two-path topology of the paper's Fig 5 discussion, gives the
+paths very different fee rates, and shows how the LP split routes around
+expensive channels — versus the "w/o optimization" sequential fill the
+paper benchmarks in Fig 9.
+
+Run:  python examples/fee_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro import ChannelGraph, LinearFee, NetworkView
+from repro.core import find_elephant_paths, split_payment
+
+
+def build_network() -> ChannelGraph:
+    graph = ChannelGraph()
+    cheap = LinearFee(rate=0.002)  # 0.2%
+    pricey = LinearFee(rate=0.04)  # 4%
+    # Short expensive route and a longer cheap route, both 0 -> 3.
+    graph.add_channel(0, 1, 100.0, 100.0, fee_ab=pricey, fee_ba=pricey)
+    graph.add_channel(1, 3, 100.0, 100.0, fee_ab=pricey, fee_ba=pricey)
+    graph.add_channel(0, 2, 100.0, 100.0, fee_ab=cheap, fee_ba=cheap)
+    graph.add_channel(2, 4, 100.0, 100.0, fee_ab=cheap, fee_ba=cheap)
+    graph.add_channel(4, 3, 100.0, 100.0, fee_ab=cheap, fee_ba=cheap)
+    return graph
+
+
+def describe(label: str, split) -> None:
+    print(f"\n{label}:")
+    for path, amount in split.transfers:
+        print(f"  {' -> '.join(str(n) for n in path)}  carries {amount:.1f}")
+    print(f"  estimated fee: {split.estimated_fee:.3f}")
+
+
+def main() -> None:
+    graph = build_network()
+    view = NetworkView(graph)
+    demand = 150.0
+
+    # Algorithm 1 discovers paths shortest-first, probing as it goes.
+    search = find_elephant_paths(
+        graph.adjacency(), view, source=0, target=3, demand=demand, k=5
+    )
+    print(
+        f"Algorithm 1 found {len(search.paths)} paths with max flow "
+        f"{search.max_flow:.0f} for demand {demand:.0f} "
+        f"({view.counters.probe_messages} probe messages)"
+    )
+
+    optimized = split_payment(search, demand, optimize_fees=True)
+    describe("program (1) split (fee-optimized)", optimized)
+
+    sequential = split_payment(search, demand, optimize_fees=False)
+    describe("sequential split (w/o optimization, Fig 9 baseline)", sequential)
+
+    saving = 1.0 - optimized.estimated_fee / sequential.estimated_fee
+    print(f"\nfee saving from optimization: {100 * saving:.1f}%")
+    print("(the paper reports ~40% average savings on its fee mix, Fig 9)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Protocol testbed demo: message-level routing with two-phase commit.
+
+Replays the paper's §5 testbed at small scale: a Watts-Strogatz network of
+protocol nodes exchanging Table-1 messages (PROBE / COMMIT / CONFIRM /
+REVERSE) over a discrete-event fabric, comparing Flash, Spider, and SP on
+success metrics and normalized processing delay.
+
+Run:  python examples/testbed_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.protocol import TestbedExperiment, normalized_delays
+from repro.sim import format_table
+
+
+def main() -> None:
+    experiment = TestbedExperiment(
+        n_nodes=50,
+        capacity_low=1_000.0,
+        capacity_high=1_500.0,
+        n_transactions=1_000,
+        seed=3,
+    )
+    print("running 50-node testbed, 1,000 payments x 3 schemes ...")
+    results = experiment.run()
+    normalized = normalized_delays(results)
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{100 * result.success_ratio:.1f}",
+                f"{result.success_volume:,.0f}",
+                f"{normalized[name][0]:.2f}",
+                f"{normalized[name][1]:.2f}",
+                result.probe_messages,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "scheme",
+                "succ. ratio (%)",
+                "succ. volume ($)",
+                "norm. delay",
+                "norm. mice delay",
+                "probe msgs",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs 12): Flash wins success volume;"
+        "\nSpider wins ratio slightly; Flash's mice settle much faster than"
+        "\nSpider's because they usually skip probing entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment's setuptools (65.x) predates PEP 660 editable installs and
+has no ``wheel`` package, so ``pip install -e .`` cannot build an editable
+wheel.  This shim lets ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) work; all
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,164 @@
+"""repro — a reproduction of *Flash: Efficient Dynamic Routing for Offchain
+Networks* (Wang, Xu, Jin, Wang — CoNEXT 2019).
+
+Quickstart::
+
+    import random
+    from repro import (
+        FlashRouter, NetworkView, StaticThresholdClassifier,
+        generate_ripple_workload, ripple_like_topology, run_simulation,
+        flash_factory,
+    )
+
+    rng = random.Random(7)
+    graph = ripple_like_topology(rng, n_nodes=200, n_edges=1_000)
+    workload = generate_ripple_workload(rng, graph.nodes, 500)
+    result = run_simulation(graph, flash_factory(), workload)
+    print(result.success_ratio, result.success_volume)
+
+The package layout mirrors the systems inventory in DESIGN.md:
+
+* :mod:`repro.core` — Flash itself (classifier, Algorithm 1, program (1),
+  routing table, mice trial-and-error);
+* :mod:`repro.network` — channels, channel graph, fees, probing view,
+  path algorithms, topology generators;
+* :mod:`repro.traces` — calibrated workload generation and the §2.2
+  measurement analysis;
+* :mod:`repro.baselines` — Shortest Path, Spider, SpeedyMurmurs, Landmark;
+* :mod:`repro.sim` — trace-driven simulation engine, metrics, sweeps;
+* :mod:`repro.protocol` — message-level testbed substrate (source routing,
+  probing, two-phase commit) and processing-delay evaluation;
+* :mod:`repro.eval` — per-figure experiment drivers.
+"""
+
+from repro.baselines import (
+    LandmarkRouter,
+    ShortestPathRouter,
+    SpeedyMurmursRouter,
+    SpiderRouter,
+)
+from repro.core import (
+    FlashRouter,
+    Router,
+    RoutingOutcome,
+    RoutingTable,
+    StaticThresholdClassifier,
+    StreamingQuantileClassifier,
+    find_elephant_paths,
+    split_payment,
+)
+from repro.errors import (
+    ChannelError,
+    InsufficientBalanceError,
+    NoChannelError,
+    NoPathError,
+    OptimizationError,
+    PaymentFailedError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+)
+from repro.extensions import Rebalancer, channel_skew
+from repro.network import (
+    Channel,
+    ChannelGraph,
+    LinearFee,
+    NetworkView,
+    PaymentSession,
+    Transfer,
+    ZeroFee,
+    grid_topology,
+    lightning_like_topology,
+    line_topology,
+    ripple_like_topology,
+    testbed_topology,
+)
+from repro.network.dynamics import (
+    ChannelEvent,
+    ChannelEventType,
+    ChurnModel,
+    GossipSchedule,
+    run_dynamic_simulation,
+)
+from repro.sim import (
+    flash_factory,
+    paper_benchmark_factories,
+    run_comparison,
+    run_simulation,
+    shortest_path_factory,
+    speedymurmurs_factory,
+    spider_factory,
+    sweep,
+)
+from repro.traces import (
+    Transaction,
+    Workload,
+    bitcoin_size_distribution,
+    generate_lightning_workload,
+    generate_ripple_workload,
+    recurrence_summary,
+    ripple_size_distribution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Channel",
+    "ChannelError",
+    "ChannelEvent",
+    "ChannelEventType",
+    "ChannelGraph",
+    "ChurnModel",
+    "GossipSchedule",
+    "Rebalancer",
+    "channel_skew",
+    "run_dynamic_simulation",
+    "FlashRouter",
+    "InsufficientBalanceError",
+    "LandmarkRouter",
+    "LinearFee",
+    "NetworkView",
+    "NoChannelError",
+    "NoPathError",
+    "OptimizationError",
+    "PaymentFailedError",
+    "PaymentSession",
+    "ProtocolError",
+    "ReproError",
+    "Router",
+    "RoutingError",
+    "RoutingOutcome",
+    "RoutingTable",
+    "ShortestPathRouter",
+    "SpeedyMurmursRouter",
+    "SpiderRouter",
+    "StaticThresholdClassifier",
+    "StreamingQuantileClassifier",
+    "TopologyError",
+    "Transaction",
+    "Transfer",
+    "Workload",
+    "ZeroFee",
+    "bitcoin_size_distribution",
+    "find_elephant_paths",
+    "flash_factory",
+    "generate_lightning_workload",
+    "generate_ripple_workload",
+    "grid_topology",
+    "lightning_like_topology",
+    "line_topology",
+    "paper_benchmark_factories",
+    "recurrence_summary",
+    "ripple_like_topology",
+    "ripple_size_distribution",
+    "run_comparison",
+    "run_simulation",
+    "shortest_path_factory",
+    "speedymurmurs_factory",
+    "spider_factory",
+    "split_payment",
+    "sweep",
+    "testbed_topology",
+    "__version__",
+]

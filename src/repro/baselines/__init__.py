@@ -1,0 +1,24 @@
+"""Baseline routing schemes the paper compares against (§4.1)."""
+
+from repro.baselines.landmark import LandmarkRouter, splice_paths
+from repro.baselines.shortest_path import ShortestPathRouter
+from repro.baselines.speedymurmurs import (
+    SPEEDYMURMURS_LANDMARKS,
+    SpeedyMurmursRouter,
+    tree_coordinates,
+    tree_distance,
+)
+from repro.baselines.spider import SPIDER_NUM_PATHS, SpiderRouter, waterfill
+
+__all__ = [
+    "LandmarkRouter",
+    "SPEEDYMURMURS_LANDMARKS",
+    "SPIDER_NUM_PATHS",
+    "ShortestPathRouter",
+    "SpeedyMurmursRouter",
+    "SpiderRouter",
+    "splice_paths",
+    "tree_coordinates",
+    "tree_distance",
+    "waterfill",
+]

@@ -1,0 +1,124 @@
+"""Landmark-centered routing (SilentWhispers-flavored [24]) — extension.
+
+SilentWhispers routes every payment through landmark nodes: the path to the
+receiver is the concatenation of a shortest path from sender to landmark
+and from landmark to receiver.  The Flash paper discusses (§6) but does not
+benchmark it; we include it as an additional static baseline because it
+brackets SpeedyMurmurs from below (its landmark detours make paths
+"unnecessarily long", §6).
+
+The payment is split evenly across the landmarks, one share per landmark
+path, with loops removed after concatenation.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Router, RoutingOutcome
+from repro.network.channel import NodeId
+from repro.network.paths import bfs_shortest_path
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+_EPS = 1e-9
+
+DEFAULT_NUM_LANDMARKS = 3
+
+
+def splice_paths(first: list[NodeId], second: list[NodeId]) -> list[NodeId]:
+    """Concatenate two paths sharing one endpoint and strip any loops."""
+    if first[-1] != second[0]:
+        raise ValueError("paths do not share the splice point")
+    combined = first + second[1:]
+    # Loop removal: keep the last occurrence of each repeated node.
+    result: list[NodeId] = []
+    seen: dict[NodeId, int] = {}
+    for node in combined:
+        if node in seen:
+            del result[seen[node] + 1:]
+            for removed in list(seen):
+                if seen[removed] > seen[node]:
+                    del seen[removed]
+        else:
+            seen[node] = len(result)
+            result.append(node)
+    return result
+
+
+class LandmarkRouter(Router):
+    """Even split across landmark-concatenated shortest paths."""
+
+    name = "Landmark"
+
+    def __init__(
+        self, view: NetworkView, num_landmarks: int = DEFAULT_NUM_LANDMARKS
+    ) -> None:
+        super().__init__(view)
+        if num_landmarks <= 0:
+            raise ValueError(f"num_landmarks must be positive, got {num_landmarks}")
+        self.num_landmarks = num_landmarks
+        self._topology = view.topology()
+        self._landmarks = self._pick_landmarks()
+        self._cache: dict[tuple[NodeId, NodeId], list[NodeId] | None] = {}
+
+    def _pick_landmarks(self) -> list[NodeId]:
+        ranked = sorted(
+            self._topology, key=lambda node: (-len(self._topology[node]), repr(node))
+        )
+        return ranked[: self.num_landmarks]
+
+    def on_topology_update(self) -> None:
+        self._topology = self.view.topology()
+        self._landmarks = self._pick_landmarks()
+        self._cache.clear()
+
+    def _shortest(self, a: NodeId, b: NodeId) -> list[NodeId] | None:
+        pair = (a, b)
+        if pair not in self._cache:
+            self._cache[pair] = bfs_shortest_path(self._topology, a, b)
+        return self._cache[pair]
+
+    def _landmark_paths(
+        self, source: NodeId, target: NodeId
+    ) -> list[list[NodeId]]:
+        paths = []
+        for landmark in self._landmarks:
+            if landmark == source or landmark == target:
+                direct = self._shortest(source, target)
+                if direct is not None:
+                    paths.append(direct)
+                continue
+            up = self._shortest(source, landmark)
+            down = self._shortest(landmark, target)
+            if up is None or down is None:
+                continue
+            paths.append(splice_paths(up, down))
+        # Deduplicate while preserving landmark order.
+        unique = []
+        seen: set[tuple[NodeId, ...]] = set()
+        for path in paths:
+            key = tuple(path)
+            if key not in seen:
+                seen.add(key)
+                unique.append(path)
+        return unique
+
+    def _route(self, transaction: Transaction) -> RoutingOutcome:
+        paths = self._landmark_paths(transaction.sender, transaction.receiver)
+        if not paths:
+            return RoutingOutcome.failure()
+        share = transaction.amount / len(paths)
+        with self.view.open_session() as session:
+            for path in paths:
+                if share <= _EPS:
+                    continue
+                if not session.try_reserve(path, share):
+                    session.abort()
+                    return RoutingOutcome.failure()
+            session.commit()
+        transfers = tuple((tuple(path), share) for path in paths)
+        return RoutingOutcome(
+            success=True,
+            delivered=transaction.amount,
+            transfers=transfers,
+            fee=self.transfers_fee(list(transfers)),
+        )

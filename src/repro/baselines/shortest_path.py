@@ -1,0 +1,55 @@
+"""The Shortest Path (SP) baseline (§4.1).
+
+SP routes every payment, in full, along the fewest-hop path between sender
+and receiver.  It is a static scheme: it never probes, so it pays no
+probing overhead — and no awareness of channel balances, which is exactly
+why its success volume collapses for elephants (Figs 6 & 7).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Router, RoutingOutcome
+from repro.network.channel import NodeId
+from repro.network.paths import bfs_shortest_path
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+
+class ShortestPathRouter(Router):
+    """Single fewest-hop path, full amount, no probing."""
+
+    name = "Shortest Path"
+
+    def __init__(self, view: NetworkView) -> None:
+        super().__init__(view)
+        self._topology = view.topology()
+        self._path_cache: dict[tuple[NodeId, NodeId], list[NodeId] | None] = {}
+
+    def on_topology_update(self) -> None:
+        self._topology = self.view.topology()
+        self._path_cache.clear()
+
+    def _shortest_path(self, source: NodeId, target: NodeId):
+        pair = (source, target)
+        if pair not in self._path_cache:
+            self._path_cache[pair] = bfs_shortest_path(
+                self._topology, source, target
+            )
+        return self._path_cache[pair]
+
+    def _route(self, transaction: Transaction) -> RoutingOutcome:
+        path = self._shortest_path(transaction.sender, transaction.receiver)
+        if path is None:
+            return RoutingOutcome.failure()
+        with self.view.open_session() as session:
+            if not session.try_reserve(path, transaction.amount):
+                session.abort()
+                return RoutingOutcome.failure()
+            session.commit()
+        transfers = ((tuple(path), transaction.amount),)
+        return RoutingOutcome(
+            success=True,
+            delivered=transaction.amount,
+            transfers=transfers,
+            fee=self.transfers_fee(list(transfers)),
+        )

@@ -1,0 +1,158 @@
+"""The SpeedyMurmurs baseline [29] (embedding-based static routing).
+
+SpeedyMurmurs assigns every node a coordinate in each of ``L`` (= 3, per
+§4.1) spanning trees rooted at landmark nodes, then forwards payments
+greedily: at each hop the payment moves to a neighbor strictly closer (in
+tree distance) to the receiver.  Because neighbors that are *shortcuts* in
+the real graph — not only tree edges — qualify, paths are shorter than
+pure tree routing.
+
+The payment is split evenly into one share per tree; each share walks its
+own greedy path.  Like all static schemes it never probes — a share simply
+fails when a hop lacks balance, and the payment fails (atomically) when
+any share fails.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base import Router, RoutingOutcome
+from repro.network.channel import NodeId
+from repro.network.paths import bfs_tree_parents
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+_EPS = 1e-9
+
+#: Number of landmarks/trees ([29] via §4.1).
+SPEEDYMURMURS_LANDMARKS = 3
+
+Coordinate = tuple[NodeId, ...]
+
+
+def tree_coordinates(
+    topology: dict[NodeId, list[NodeId]], root: NodeId
+) -> dict[NodeId, Coordinate]:
+    """Coordinate of each node: its node path from ``root`` in a BFS tree."""
+    parents = bfs_tree_parents(topology, root)
+    coordinates: dict[NodeId, Coordinate] = {root: (root,)}
+
+    def coordinate_of(node: NodeId) -> Coordinate:
+        known = coordinates.get(node)
+        if known is not None:
+            return known
+        chain = []
+        cursor = node
+        while cursor not in coordinates:
+            chain.append(cursor)
+            cursor = parents[cursor]
+        base = coordinates[cursor]
+        for member in reversed(chain):
+            base = base + (member,)
+            coordinates[member] = base
+        return coordinates[node]
+
+    for node in parents:
+        coordinate_of(node)
+    return coordinates
+
+
+def tree_distance(a: Coordinate, b: Coordinate) -> int:
+    """Hop distance between two coordinates in their spanning tree."""
+    common = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        common += 1
+    return (len(a) - common) + (len(b) - common)
+
+
+class SpeedyMurmursRouter(Router):
+    """Greedy embedding forwarding over 3 landmark-rooted spanning trees."""
+
+    name = "SpeedyMurmurs"
+
+    def __init__(
+        self,
+        view: NetworkView,
+        num_landmarks: int = SPEEDYMURMURS_LANDMARKS,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(view)
+        if num_landmarks <= 0:
+            raise ValueError(f"num_landmarks must be positive, got {num_landmarks}")
+        self.num_landmarks = num_landmarks
+        self.rng = rng if rng is not None else random.Random(0)
+        self._topology = view.topology()
+        self._embeddings: list[dict[NodeId, Coordinate]] = []
+        self._build_embeddings()
+
+    def _build_embeddings(self) -> None:
+        """Pick the highest-degree nodes as landmarks (as in [29]) and embed."""
+        ranked = sorted(
+            self._topology, key=lambda node: (-len(self._topology[node]), repr(node))
+        )
+        landmarks = ranked[: self.num_landmarks]
+        self._embeddings = [
+            tree_coordinates(self._topology, landmark) for landmark in landmarks
+        ]
+
+    def on_topology_update(self) -> None:
+        self._topology = self.view.topology()
+        self._build_embeddings()
+
+    def _greedy_path(
+        self, embedding: dict[NodeId, Coordinate], source: NodeId, target: NodeId
+    ) -> list[NodeId] | None:
+        """Greedy strictly-decreasing-distance walk; None if stuck."""
+        target_coord = embedding.get(target)
+        if target_coord is None or source not in embedding:
+            return None
+        path = [source]
+        current = source
+        visited = {source}
+        while current != target:
+            current_distance = tree_distance(embedding[current], target_coord)
+            candidates = []
+            for neighbor in self._topology[current]:
+                if neighbor in visited or neighbor not in embedding:
+                    continue
+                distance = tree_distance(embedding[neighbor], target_coord)
+                if distance < current_distance:
+                    candidates.append((distance, neighbor))
+            if not candidates:
+                return None
+            best = min(distance for distance, _ in candidates)
+            choices = [n for distance, n in candidates if distance == best]
+            nxt = choices[0] if len(choices) == 1 else self.rng.choice(choices)
+            path.append(nxt)
+            visited.add(nxt)
+            current = nxt
+        return path
+
+    def _route(self, transaction: Transaction) -> RoutingOutcome:
+        share = transaction.amount / len(self._embeddings)
+        shares: list[tuple[list[NodeId], float]] = []
+        for embedding in self._embeddings:
+            path = self._greedy_path(
+                embedding, transaction.sender, transaction.receiver
+            )
+            if path is None:
+                return RoutingOutcome.failure()
+            shares.append((path, share))
+        with self.view.open_session() as session:
+            for path, amount in shares:
+                if amount <= _EPS:
+                    continue
+                if not session.try_reserve(path, amount):
+                    session.abort()
+                    return RoutingOutcome.failure()
+            session.commit()
+        transfers = tuple((tuple(path), amount) for path, amount in shares)
+        return RoutingOutcome(
+            success=True,
+            delivered=transaction.amount,
+            transfers=transfers,
+            fee=self.transfers_fee(list(transfers)),
+        )

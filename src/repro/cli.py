@@ -1,0 +1,216 @@
+"""Command-line interface: run experiments without writing a script.
+
+Examples
+--------
+::
+
+    python -m repro analyze                      # Fig 3/4 measurement study
+    python -m repro simulate --topology ripple --transactions 300
+    python -m repro testbed --nodes 50 --transactions 500
+    python -m repro figure fig6 --topology lightning
+    python -m repro figure fig10
+    python -m repro figure ablation-k
+
+``figure`` accepts: fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11,
+fig12, fig13, ablation-k, ablation-order, ablation-paths.  All figures run
+at benchmark scale by default; pass ``--paper-scale`` for the full-size
+topologies (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections.abc import Sequence
+
+from repro.eval import (
+    BENCH_LIGHTNING,
+    BENCH_RIPPLE,
+    PAPER_LIGHTNING,
+    PAPER_RIPPLE,
+    ablation_k_sweep,
+    ablation_mice_order,
+    ablation_path_finding,
+    fig3_size_cdfs,
+    fig4_recurrence,
+    fig6_capacity_sweep,
+    fig7_load_sweep,
+    fig8_probing_overhead,
+    fig9_fee_optimization,
+    fig10_threshold_sweep,
+    fig11_mice_paths_sweep,
+    testbed_figure,
+)
+from repro.eval.scenarios import ScenarioConfig, build_scenario
+from repro.sim import format_table, paper_benchmark_factories, run_simulation
+
+
+def _config(args) -> ScenarioConfig:
+    if getattr(args, "paper_scale", False):
+        base = PAPER_RIPPLE if args.topology == "ripple" else PAPER_LIGHTNING
+    else:
+        base = BENCH_RIPPLE if args.topology == "ripple" else BENCH_LIGHTNING
+    if getattr(args, "transactions", None):
+        base = base.with_transactions(args.transactions)
+    return base
+
+
+def _cmd_analyze(args) -> int:
+    print(fig3_size_cdfs(n_samples=args.samples, seed=args.seed).format())
+    print()
+    print(
+        fig4_recurrence(
+            days=args.days,
+            transactions_per_day=1_000,
+            n_nodes=500,
+            seed=args.seed,
+        ).format()
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = _config(args).with_scale(args.scale)
+    rng = random.Random(args.seed)
+    graph, workload = build_scenario(config)(rng)
+    print(
+        f"topology={config.topology} nodes={graph.num_nodes()} "
+        f"channels={graph.num_channels()} txns={len(workload)} "
+        f"scale={args.scale}"
+    )
+    rows = []
+    for name, factory in paper_benchmark_factories().items():
+        result = run_simulation(
+            graph, factory, workload, rng=random.Random(args.seed + 1)
+        )
+        rows.append(
+            [
+                name,
+                f"{100 * result.success_ratio:.1f}",
+                f"{result.success_volume:.4g}",
+                result.probe_messages,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "succ. ratio (%)", "succ. volume", "probe msgs"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_testbed(args) -> int:
+    result = testbed_figure(
+        n_nodes=args.nodes,
+        intervals=((args.capacity_low, args.capacity_high),),
+        n_transactions=args.transactions,
+        seed=args.seed,
+    )
+    print(result.format())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    config = _config(args)
+    runs = args.runs
+    seed = args.seed
+    name = args.name.lower()
+    if name == "fig3":
+        print(fig3_size_cdfs(seed=seed).format())
+    elif name == "fig4":
+        print(fig4_recurrence(seed=seed).format())
+    elif name == "fig6":
+        print(fig6_capacity_sweep(config, runs=runs, seed=seed).format())
+    elif name == "fig7":
+        print(fig7_load_sweep(config, runs=runs, seed=seed).format())
+    elif name == "fig8":
+        print(fig8_probing_overhead(config, runs=runs, seed=seed).format())
+    elif name == "fig9":
+        print(fig9_fee_optimization(config, runs=runs, seed=seed).format())
+    elif name == "fig10":
+        print(fig10_threshold_sweep(config, runs=runs, seed=seed).format())
+    elif name == "fig11":
+        print(fig11_mice_paths_sweep(config, runs=runs, seed=seed).format())
+    elif name == "fig12":
+        print(
+            testbed_figure(
+                n_nodes=50, n_transactions=args.transactions or 2_000, seed=seed
+            ).format()
+        )
+    elif name == "fig13":
+        print(
+            testbed_figure(
+                n_nodes=100, n_transactions=args.transactions or 2_000, seed=seed
+            ).format()
+        )
+    elif name == "ablation-k":
+        print(ablation_k_sweep(config, runs=runs, seed=seed).format())
+    elif name == "ablation-order":
+        print(ablation_mice_order(config, runs=runs, seed=seed).format())
+    elif name == "ablation-paths":
+        print(ablation_path_finding(config, seed=seed).format())
+    else:
+        print(f"unknown figure {args.name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flash (CoNEXT 2019) reproduction experiments",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="the §2.2 measurement study (Figs 3 & 4)"
+    )
+    analyze.add_argument("--samples", type=int, default=40_000)
+    analyze.add_argument("--days", type=int, default=60)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="compare the four schemes on one scenario"
+    )
+    simulate.add_argument(
+        "--topology", choices=("ripple", "lightning"), default="ripple"
+    )
+    simulate.add_argument("--transactions", type=int, default=None)
+    simulate.add_argument("--scale", type=float, default=10.0)
+    simulate.add_argument("--paper-scale", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    testbed = subparsers.add_parser(
+        "testbed", help="the §5 protocol testbed comparison"
+    )
+    testbed.add_argument("--nodes", type=int, default=50)
+    testbed.add_argument("--transactions", type=int, default=1_000)
+    testbed.add_argument("--capacity-low", type=float, default=1_000.0)
+    testbed.add_argument("--capacity-high", type=float, default=1_500.0)
+    testbed.set_defaults(func=_cmd_testbed)
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate one paper figure or ablation"
+    )
+    figure.add_argument("name")
+    figure.add_argument(
+        "--topology", choices=("ripple", "lightning"), default="ripple"
+    )
+    figure.add_argument("--transactions", type=int, default=None)
+    figure.add_argument("--runs", type=int, default=2)
+    figure.add_argument("--paper-scale", action="store_true")
+    figure.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

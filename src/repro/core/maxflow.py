@@ -1,0 +1,124 @@
+"""Algorithm 1: modified Edmonds–Karp path finding for elephant payments.
+
+The standard Edmonds–Karp algorithm needs the full weighted graph up
+front; in a PCN the weights (channel balances) are unknown until probed.
+Flash's modification (§3.2) interleaves probing with the augmenting-path
+search:
+
+1. BFS over the *structural* topology, restricted to edges whose residual
+   capacity is still positive — edges never probed are assumed positive;
+2. probe the discovered path (one message per hop), learning the live
+   balance of each channel in both directions the first time it is seen;
+3. augment along the path by its residual bottleneck and update the
+   residual matrix exactly as Edmonds–Karp would (forward decrease,
+   reverse increase).
+
+The loop stops after at most ``k`` paths, so the probing overhead is
+bounded by ``k`` path probes instead of ``O(|V||E|)`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.channel import NodeId
+from repro.network.fees import FeePolicy
+from repro.network.paths import Adjacency, bfs_shortest_path
+from repro.network.view import NetworkView
+
+_EPS = 1e-9
+
+DirectedEdge = tuple[NodeId, NodeId]
+Path = list[NodeId]
+
+
+@dataclass
+class PathSearchResult:
+    """Output of Algorithm 1.
+
+    ``paths`` are the (at most ``k``) BFS augmenting paths in discovery
+    order; ``flows`` the bottleneck flow pushed on each; ``capacity`` the
+    probed capacity matrix ``C`` (both directions of every probed
+    channel); ``fees`` the fee policy of every probed directed channel.
+    ``max_flow`` is their sum, and ``satisfied`` says whether it covers the
+    demand — Algorithm 1 returns ∅ otherwise, but we keep the partial
+    result so callers can inspect near-misses.
+    """
+
+    paths: list[Path] = field(default_factory=list)
+    flows: list[float] = field(default_factory=list)
+    capacity: dict[DirectedEdge, float] = field(default_factory=dict)
+    fees: dict[DirectedEdge, FeePolicy] = field(default_factory=dict)
+    max_flow: float = 0.0
+    demand: float = 0.0
+
+    @property
+    def satisfied(self) -> bool:
+        return self.max_flow + _EPS >= self.demand
+
+
+def find_elephant_paths(
+    topology: Adjacency,
+    view: NetworkView,
+    source: NodeId,
+    target: NodeId,
+    demand: float,
+    k: int,
+) -> PathSearchResult:
+    """Run Algorithm 1: probe up to ``k`` augmenting paths for ``demand``.
+
+    ``view`` is used only for probing (messages are counted there); the
+    search never reads ground-truth balances directly.
+    """
+    if demand < 0:
+        raise ValueError(f"negative demand {demand!r}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+
+    result = PathSearchResult(demand=demand)
+    capacity = result.capacity
+    residual: dict[DirectedEdge, float] = {}
+
+    def edge_ok(u: NodeId, v: NodeId) -> bool:
+        # Unprobed channels are assumed to have positive capacity (§3.2:
+        # "our algorithm works without the capacity matrix as input by
+        # assuming each channel has non-zero capacity").
+        return residual.get((u, v), 1.0) > _EPS
+
+    while len(result.paths) < k:
+        path = bfs_shortest_path(topology, source, target, edge_ok=edge_ok)
+        if path is None:
+            break
+        probe = view.probe_path(path)
+        # Record C[u, v] and C[v, u] the first time each channel is seen.
+        for (u, v), forward, backward in zip(
+            zip(path, path[1:]), probe.balances, probe.reverse_balances
+        ):
+            if (u, v) not in capacity:
+                capacity[(u, v)] = forward
+                residual[(u, v)] = forward
+            if (v, u) not in capacity:
+                capacity[(v, u)] = backward
+                residual[(v, u)] = backward
+        for (u, v), policy in zip(zip(path, path[1:]), probe.fees):
+            result.fees.setdefault((u, v), policy)
+
+        # Bottleneck over the *residual* capacities, which account for the
+        # flow already committed to earlier paths.
+        bottleneck = min(residual[(u, v)] for u, v in zip(path, path[1:]))
+        result.paths.append(path)
+        result.flows.append(bottleneck)
+        if bottleneck > _EPS:
+            result.max_flow += bottleneck
+            for u, v in zip(path, path[1:]):
+                residual[(u, v)] -= bottleneck
+                residual[(v, u)] = residual.get((v, u), 0.0) + bottleneck
+        else:
+            # A probed-dead path (effective capacity zero): mark it so BFS
+            # will not rediscover it, and keep searching.
+            for u, v in zip(path, path[1:]):
+                if residual[(u, v)] <= _EPS:
+                    residual[(u, v)] = 0.0
+        if result.max_flow + _EPS >= demand:
+            break
+    return result

@@ -1,0 +1,83 @@
+"""Mice payment routing: the randomized trial-and-error loop (§3.3).
+
+Given the ``m`` cached paths for a receiver, the sender:
+
+1. picks a path uniformly at random (random order load-balances paths
+   without knowing their instantaneous balances);
+2. sends the full remaining amount along it — if that succeeds the
+   protocol ends, with *zero* probes spent;
+3. otherwise probes the path (this is the only time mice pay probing
+   cost), reserves its effective capacity as a partial payment, and moves
+   to the next path;
+4. fails the payment if the demand is unmet after ``m`` paths, rolling
+   back every partial reservation (AMP atomicity).
+
+Paths found dead (zero effective capacity or missing channel) are reported
+back so the routing table can replace them with the next shortest path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.network.channel import NodeId
+from repro.network.view import PaymentSession
+
+_EPS = 1e-9
+
+Path = list[NodeId]
+
+
+@dataclass
+class MiceRoutingResult:
+    """Outcome of the trial-and-error loop (before commit/abort)."""
+
+    success: bool
+    transfers: list[tuple[tuple[NodeId, ...], float]] = field(default_factory=list)
+    dead_paths: list[Path] = field(default_factory=list)
+    paths_tried: int = 0
+
+
+def route_mice_payment(
+    session: PaymentSession,
+    paths: list[Path],
+    amount: float,
+    rng: random.Random,
+    shuffle: bool = True,
+) -> MiceRoutingResult:
+    """Run the trial-and-error loop inside an open payment session.
+
+    The caller owns the session lifecycle: commit on success, abort on
+    failure.  ``shuffle=False`` disables the random path order (used by the
+    path-order ablation).
+    """
+    if amount <= 0:
+        raise ValueError(f"payment amount must be positive, got {amount!r}")
+    result = MiceRoutingResult(success=False)
+    order = list(paths)
+    if shuffle:
+        rng.shuffle(order)
+    remaining = amount
+    for path in order:
+        if remaining <= _EPS:
+            break
+        result.paths_tried += 1
+        # First try the full remaining amount blind — no probe needed when
+        # the path can carry it (the common case for mice).
+        if session.try_reserve(path, remaining):
+            remaining = 0.0
+            break
+        # The blind attempt bounced: probe to learn the effective capacity
+        # and ship what fits as a partial payment.
+        probe = session.probe(path)
+        effective = probe.bottleneck
+        if effective <= _EPS:
+            result.dead_paths.append(path)
+            continue
+        partial = min(effective, remaining)
+        if session.try_reserve(path, partial):
+            remaining -= partial
+    result.success = remaining <= _EPS
+    result.transfers = session.transfers
+    return result

@@ -1,0 +1,149 @@
+"""The mice routing table (§3.3, "Path finding").
+
+Each node keeps a table of precomputed paths per *receiver*.  On first
+contact with a receiver the node computes the top-``m`` shortest paths with
+Yen's algorithm on its local topology and caches them; recurring payments
+(the vast majority, §2.2) become pure table lookups.  The table supports
+the three maintenance behaviours the paper describes:
+
+* **refresh** — recompute every entry when the gossiped topology changes;
+* **replacement** — when a payment finds a cached path dead (zero
+  effective capacity or broken connectivity), replace it with the *next*
+  shortest path;
+* **timeout** — entries untouched for longer than ``entry_ttl`` are
+  evicted to bound the table size.
+
+Our library manages one logical network, so the table is keyed by
+``(sender, receiver)`` — each sender's slice is exactly the per-node table
+of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.channel import NodeId
+from repro.network.paths import Adjacency, yen_k_shortest_paths
+
+Path = list[NodeId]
+
+
+@dataclass
+class TableEntry:
+    """Cached paths for one (sender, receiver) pair."""
+
+    paths: list[Path]
+    last_used: float = 0.0
+    #: How many Yen paths have been consumed for this pair, including
+    #: replaced ones — lets replacement continue where the ranking left off.
+    yen_cursor: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+@dataclass
+class RoutingTable:
+    """Per-(sender, receiver) cache of top-``m`` shortest paths."""
+
+    m: int = 4
+    entry_ttl: float = float("inf")
+    max_entries: int | None = None
+    _entries: dict[tuple[NodeId, NodeId], TableEntry] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.m < 0:
+            raise ValueError(f"m must be non-negative, got {self.m}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pair: tuple[NodeId, NodeId]) -> bool:
+        return pair in self._entries
+
+    def lookup(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        topology: Adjacency,
+        now: float = 0.0,
+    ) -> TableEntry:
+        """Fetch (or compute on first use) the entry for a pair."""
+        pair = (sender, receiver)
+        entry = self._entries.get(pair)
+        if entry is None:
+            paths = yen_k_shortest_paths(topology, sender, receiver, self.m)
+            entry = TableEntry(paths=paths, last_used=now, yen_cursor=len(paths))
+            entry.misses += 1
+            self._entries[pair] = entry
+            self._enforce_capacity()
+        else:
+            entry.hits += 1
+            entry.last_used = now
+        return entry
+
+    def replace_path(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        dead_path: Path,
+        topology: Adjacency,
+    ) -> Path | None:
+        """Swap a dead path for the next-ranked Yen path (§3.3).
+
+        Returns the replacement, or ``None`` when the topology has no
+        further distinct path (the dead one is then simply dropped).
+        """
+        pair = (sender, receiver)
+        entry = self._entries.get(pair)
+        if entry is None or dead_path not in entry.paths:
+            return None
+        ranked = yen_k_shortest_paths(
+            topology, sender, receiver, entry.yen_cursor + 1
+        )
+        replacement = None
+        existing = {tuple(path) for path in entry.paths}
+        for candidate in ranked[entry.yen_cursor:]:
+            if tuple(candidate) not in existing:
+                replacement = candidate
+                break
+        entry.yen_cursor = max(entry.yen_cursor + 1, len(ranked))
+        index = entry.paths.index(dead_path)
+        if replacement is None:
+            del entry.paths[index]
+            return None
+        entry.paths[index] = replacement
+        return replacement
+
+    def refresh(self, topology: Adjacency) -> None:
+        """Recompute every entry against an updated topology (§3.3)."""
+        for (sender, receiver), entry in list(self._entries.items()):
+            paths = yen_k_shortest_paths(topology, sender, receiver, self.m)
+            entry.paths = paths
+            entry.yen_cursor = len(paths)
+
+    def evict_stale(self, now: float) -> int:
+        """Drop entries idle for longer than ``entry_ttl``; returns count."""
+        if self.entry_ttl == float("inf"):
+            return 0
+        stale = [
+            pair
+            for pair, entry in self._entries.items()
+            if now - entry.last_used > self.entry_ttl
+        ]
+        for pair in stale:
+            del self._entries[pair]
+        return len(stale)
+
+    def _enforce_capacity(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            oldest = min(self._entries, key=lambda pair: self._entries[pair].last_used)
+            del self._entries[oldest]
+
+    @property
+    def hit_ratio(self) -> float:
+        hits = sum(entry.hits for entry in self._entries.values())
+        misses = sum(entry.misses for entry in self._entries.values())
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,15 @@
+"""Extensions beyond the paper's core design (related-work directions)."""
+
+from repro.extensions.rebalance import (
+    RebalanceReport,
+    Rebalancer,
+    channel_skew,
+    find_rebalancing_cycle,
+)
+
+__all__ = [
+    "RebalanceReport",
+    "Rebalancer",
+    "channel_skew",
+    "find_rebalancing_cycle",
+]

@@ -1,0 +1,170 @@
+"""The payment channel primitive (§2.1 of the paper).
+
+A channel is a bidirectional funds arrangement between two parties.  Each
+party owns a *directional balance*: ``balance(u, v)`` limits how much ``u``
+may still send to ``v``.  A successful transfer of ``x`` from ``u`` to ``v``
+moves ``x`` from ``balance(u, v)`` to ``balance(v, u)``, so the *total*
+capacity of the channel is invariant — the property the tests and the
+hypothesis suite assert.
+
+Channels also support two-phase *holds* (escrow), which the protocol
+substrate uses to model HTLC-style commitment: a hold reserves funds in one
+direction; it is later either settled (credited to the other side) or
+released (returned to the sender side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ChannelError, InsufficientBalanceError
+from repro.network.fees import FeePolicy, ZeroFee
+
+NodeId = int | str
+
+_EPS = 1e-9
+
+
+def _tolerance(amount: float) -> float:
+    """Comparison slack for balance checks.
+
+    Amounts span from sub-dollar payments to 1e9+ satoshi, so a purely
+    absolute epsilon is either too loose or too tight; combine a small
+    absolute floor with a relative term.
+    """
+    return _EPS + 1e-9 * abs(amount)
+
+
+@dataclass
+class Channel:
+    """A bidirectional payment channel between ``a`` and ``b``.
+
+    Parameters
+    ----------
+    a, b:
+        The two endpoints.  Their order is fixed at construction; the
+        directional accessors take explicit endpoints so callers never need
+        to care which endpoint is "a".
+    balance_ab, balance_ba:
+        Initial directional balances (``a``'s and ``b``'s deposits).
+    fee_ab, fee_ba:
+        Fee policy charged for relaying through each direction.
+    """
+
+    a: NodeId
+    b: NodeId
+    balance_ab: float
+    balance_ba: float
+    fee_ab: FeePolicy = field(default_factory=ZeroFee)
+    fee_ba: FeePolicy = field(default_factory=ZeroFee)
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ChannelError(f"self-channel at node {self.a!r}")
+        if self.balance_ab < 0 or self.balance_ba < 0:
+            raise ChannelError("initial balances must be non-negative")
+        self._held_ab = 0.0
+        self._held_ba = 0.0
+
+    # ----------------------------------------------------------- accessors
+
+    def endpoints(self) -> tuple[NodeId, NodeId]:
+        return (self.a, self.b)
+
+    def other(self, node: NodeId) -> NodeId:
+        """The endpoint opposite ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ChannelError(f"{node!r} is not an endpoint of {self}")
+
+    def _check_direction(self, src: NodeId, dst: NodeId) -> bool:
+        """True if the direction is a->b, False if b->a; raise otherwise."""
+        if src == self.a and dst == self.b:
+            return True
+        if src == self.b and dst == self.a:
+            return False
+        raise ChannelError(f"({src!r}, {dst!r}) is not a direction of {self}")
+
+    def balance(self, src: NodeId, dst: NodeId) -> float:
+        """Spendable balance in the ``src -> dst`` direction (net of holds)."""
+        if self._check_direction(src, dst):
+            return self.balance_ab - self._held_ab
+        return self.balance_ba - self._held_ba
+
+    def total_capacity(self) -> float:
+        """Total funds locked in the channel (directional sum, holds included)."""
+        return self.balance_ab + self.balance_ba
+
+    def fee_policy(self, src: NodeId, dst: NodeId) -> FeePolicy:
+        return self.fee_ab if self._check_direction(src, dst) else self.fee_ba
+
+    def set_fee_policy(self, src: NodeId, dst: NodeId, policy: FeePolicy) -> None:
+        if self._check_direction(src, dst):
+            self.fee_ab = policy
+        else:
+            self.fee_ba = policy
+
+    # ----------------------------------------------------------- transfers
+
+    def transfer(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Atomically move ``amount`` from ``src``'s side to ``dst``'s side."""
+        if amount < 0:
+            raise ChannelError(f"negative transfer amount {amount!r}")
+        if amount == 0:
+            return
+        available = self.balance(src, dst)
+        if amount > available + _tolerance(amount):
+            raise InsufficientBalanceError(src, dst, amount, available)
+        if self._check_direction(src, dst):
+            self.balance_ab -= amount
+            self.balance_ba += amount
+        else:
+            self.balance_ba -= amount
+            self.balance_ab += amount
+
+    # ------------------------------------------------------------- holds
+
+    def hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Escrow ``amount`` in the ``src -> dst`` direction (2PC phase 1)."""
+        if amount < 0:
+            raise ChannelError(f"negative hold amount {amount!r}")
+        available = self.balance(src, dst)
+        if amount > available + _tolerance(amount):
+            raise InsufficientBalanceError(src, dst, amount, available)
+        if self._check_direction(src, dst):
+            self._held_ab += amount
+        else:
+            self._held_ba += amount
+
+    def settle_hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Convert a prior hold into a transfer (2PC commit)."""
+        self._release(src, dst, amount)
+        self.transfer(src, dst, amount)
+
+    def release_hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Cancel a prior hold, returning funds to the sender (2PC abort)."""
+        self._release(src, dst, amount)
+
+    def _release(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        if amount < 0:
+            raise ChannelError(f"negative release amount {amount!r}")
+        if self._check_direction(src, dst):
+            if amount > self._held_ab + _tolerance(amount):
+                raise ChannelError("releasing more than held")
+            self._held_ab = max(0.0, self._held_ab - amount)
+        else:
+            if amount > self._held_ba + _tolerance(amount):
+                raise ChannelError("releasing more than held")
+            self._held_ba = max(0.0, self._held_ba - amount)
+
+    def held(self, src: NodeId, dst: NodeId) -> float:
+        """Funds currently escrowed in the ``src -> dst`` direction."""
+        return self._held_ab if self._check_direction(src, dst) else self._held_ba
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.a!r}<->{self.b!r}, "
+            f"{self.balance_ab:.6g}/{self.balance_ba:.6g})"
+        )

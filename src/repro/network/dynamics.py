@@ -1,0 +1,238 @@
+"""Topology dynamics: channel churn and gossip-driven updates (§3.1, §3.3).
+
+The paper assumes the structural topology is "fairly stable and changes on
+an hourly or daily scale" because opening or closing a channel is an
+onchain transaction, and that nodes learn about changes through gossip —
+at which point Flash refreshes its routing table ("all entries are
+re-computed using the latest G").
+
+This module provides that substrate:
+
+* :class:`ChannelEvent` — an open or close with an activation time;
+* :class:`ChurnModel` — generates a Poisson stream of open/close events
+  over an existing graph (closes pick random channels; opens attach
+  preferentially, like real PCN growth);
+* :class:`GossipSchedule` — applies due events to the graph and notifies
+  registered routers via their ``on_topology_update`` hook, batching
+  notifications at a gossip period (nodes do not learn instantly).
+
+The trace simulator integration lives in
+:func:`run_dynamic_simulation`, which interleaves workload transactions
+with topology events by timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.network.channel import NodeId
+from repro.network.graph import ChannelGraph
+
+
+class ChannelEventType(enum.Enum):
+    OPEN = "open"
+    CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class ChannelEvent:
+    """One onchain topology change, effective at ``time``."""
+
+    time: float
+    kind: ChannelEventType
+    a: NodeId
+    b: NodeId
+    #: Deposits for OPEN events (ignored for CLOSE).
+    balance_a: float = 0.0
+    balance_b: float = 0.0
+
+
+class ChurnModel:
+    """Poisson channel churn over a base graph.
+
+    Parameters
+    ----------
+    opens_per_hour, closes_per_hour:
+        Event rates; the paper's "hourly or daily scale" corresponds to
+        rates well below one per minute for networks of this size.
+    capacity:
+        Sampler for new channels' total funds (split evenly).
+    """
+
+    SECONDS_PER_HOUR = 3_600.0
+
+    def __init__(
+        self,
+        graph: ChannelGraph,
+        rng: random.Random,
+        opens_per_hour: float = 1.0,
+        closes_per_hour: float = 1.0,
+        capacity=None,
+    ) -> None:
+        if opens_per_hour < 0 or closes_per_hour < 0:
+            raise TopologyError("event rates must be non-negative")
+        self._graph = graph
+        self._rng = rng
+        self._opens_per_hour = opens_per_hour
+        self._closes_per_hour = closes_per_hour
+        self._capacity = capacity if capacity is not None else (lambda r: 200.0)
+
+    def generate(self, duration_seconds: float) -> list[ChannelEvent]:
+        """Sample a time-ordered event stream for the given horizon."""
+        events: list[ChannelEvent] = []
+        events.extend(
+            self._poisson_times(self._opens_per_hour, duration_seconds, True)
+        )
+        events.extend(
+            self._poisson_times(self._closes_per_hour, duration_seconds, False)
+        )
+        events.sort(key=lambda event: event.time)
+        return events
+
+    def _poisson_times(
+        self, rate_per_hour: float, duration: float, is_open: bool
+    ) -> Iterable[ChannelEvent]:
+        if rate_per_hour <= 0:
+            return []
+        events = []
+        now = 0.0
+        mean_gap = self.SECONDS_PER_HOUR / rate_per_hour
+        nodes = self._graph.nodes
+        while True:
+            now += self._rng.expovariate(1.0 / mean_gap)
+            if now >= duration:
+                break
+            if is_open:
+                a, b = self._rng.sample(nodes, 2)
+                total = self._capacity(self._rng)
+                events.append(
+                    ChannelEvent(
+                        time=now,
+                        kind=ChannelEventType.OPEN,
+                        a=a,
+                        b=b,
+                        balance_a=total / 2.0,
+                        balance_b=total / 2.0,
+                    )
+                )
+            else:
+                a, b = self._rng.sample(nodes, 2)
+                events.append(
+                    ChannelEvent(time=now, kind=ChannelEventType.CLOSE, a=a, b=b)
+                )
+        return events
+
+
+@dataclass
+class GossipSchedule:
+    """Applies channel events and gossips them to routers in batches.
+
+    Events become effective on the graph immediately at their time (the
+    chain does not wait), but routers only learn about them at the next
+    gossip tick — the paper's periodic-gossip assumption.
+    """
+
+    graph: ChannelGraph
+    events: Sequence[ChannelEvent]
+    gossip_period: float = 600.0
+    _cursor: int = 0
+    _pending_gossip: bool = False
+    _last_gossip: float = 0.0
+    routers: list = field(default_factory=list)
+    applied_events: int = 0
+
+    def register(self, router) -> None:
+        """Routers get ``on_topology_update()`` at gossip ticks."""
+        self.routers.append(router)
+
+    def advance_to(self, now: float) -> int:
+        """Apply all events due by ``now``; gossip if the period elapsed.
+
+        Returns the number of events applied.
+        """
+        applied = 0
+        while self._cursor < len(self.events) and self.events[self._cursor].time <= now:
+            if self._apply(self.events[self._cursor]):
+                applied += 1
+                self._pending_gossip = True
+            self._cursor += 1
+        self.applied_events += applied
+        if self._pending_gossip and now - self._last_gossip >= self.gossip_period:
+            self._gossip(now)
+        return applied
+
+    def flush(self, now: float) -> None:
+        """Force a gossip tick (e.g. at simulation end)."""
+        if self._pending_gossip:
+            self._gossip(now)
+
+    def _gossip(self, now: float) -> None:
+        for router in self.routers:
+            router.on_topology_update()
+        self._pending_gossip = False
+        self._last_gossip = now
+
+    def _apply(self, event: ChannelEvent) -> bool:
+        if event.kind is ChannelEventType.OPEN:
+            if event.a == event.b or self.graph.has_channel(event.a, event.b):
+                return False
+            self.graph.add_channel(
+                event.a, event.b, event.balance_a, event.balance_b
+            )
+            return True
+        if not self.graph.has_channel(event.a, event.b):
+            return False
+        self.graph.remove_channel(event.a, event.b)
+        return True
+
+
+def run_dynamic_simulation(
+    graph: ChannelGraph,
+    router_factory,
+    workload,
+    events: Sequence[ChannelEvent],
+    rng: random.Random | None = None,
+    gossip_period: float = 600.0,
+    reference_mice_fraction: float = 0.9,
+):
+    """Trace-driven simulation with topology churn interleaved by time.
+
+    Same contract as :func:`repro.sim.engine.run_simulation`, but channel
+    events fire between transactions and routers are re-gossiped on the
+    configured period.  The input graph is always copied.
+    """
+    from repro.network.view import NetworkView
+    from repro.sim.metrics import SimulationResult, TransactionRecord
+
+    working = graph.copy()
+    run_rng = rng if rng is not None else random.Random(0)
+    view = NetworkView(working)
+    router = router_factory(view, workload, run_rng)
+    schedule = GossipSchedule(
+        graph=working, events=events, gossip_period=gossip_period
+    )
+    schedule.register(router)
+    threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+    result = SimulationResult(scheme=router.name)
+    for transaction in workload:
+        schedule.advance_to(transaction.time)
+        probes_before = view.counters.probe_messages
+        payments_before = view.counters.payment_messages
+        outcome = router.route(transaction)
+        result.records.append(
+            TransactionRecord(
+                txid=transaction.txid,
+                amount=transaction.amount,
+                success=outcome.success,
+                fee=outcome.fee,
+                is_elephant=transaction.amount >= threshold,
+                probe_messages=view.counters.probe_messages - probes_before,
+                payment_messages=view.counters.payment_messages - payments_before,
+                paths_used=len(outcome.transfers),
+            )
+        )
+    return result

@@ -1,0 +1,107 @@
+"""Fee policies for payment channels.
+
+The paper assumes each directed channel charges a fee for relaying a partial
+payment, with a *convex* charging function ``f(r)`` of the routed amount
+``r``; in practice (§3.2) the function is linear — a fixed base fee plus a
+volume-proportional component — which makes the fee-minimization program a
+linear program.
+
+The evaluation (§4.3, Fig 9) draws proportional rates randomly: 90% of the
+channels charge 0.1%–1% of the volume and 10% charge 1%–10%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class FeePolicy(Protocol):
+    """A charging function for one direction of a payment channel."""
+
+    def fee(self, amount: float) -> float:
+        """Fee charged for relaying ``amount`` through the channel."""
+        ...
+
+    def marginal_rate(self, amount: float) -> float:
+        """Derivative of the fee at ``amount`` (used by convex solvers)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ZeroFee:
+    """No fee — useful for pure-capacity experiments."""
+
+    def fee(self, amount: float) -> float:
+        return 0.0
+
+    def marginal_rate(self, amount: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LinearFee:
+    """``fee(r) = base + rate * r`` — the practical policy of §3.2.
+
+    ``base`` is charged only when a strictly positive amount is routed.
+    """
+
+    base: float = 0.0
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.rate < 0:
+            raise ValueError("fee parameters must be non-negative")
+
+    def fee(self, amount: float) -> float:
+        if amount <= 0:
+            return 0.0
+        return self.base + self.rate * amount
+
+    def marginal_rate(self, amount: float) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class QuadraticFee:
+    """``fee(r) = base + rate * r + quad * r**2`` — a convex policy.
+
+    Exercises the convex branch of the optimizer; the paper only requires
+    ``f`` convex, so this is the stress-test policy.
+    """
+
+    base: float = 0.0
+    rate: float = 0.0
+    quad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.rate < 0 or self.quad < 0:
+            raise ValueError("fee parameters must be non-negative")
+
+    def fee(self, amount: float) -> float:
+        if amount <= 0:
+            return 0.0
+        return self.base + self.rate * amount + self.quad * amount * amount
+
+    def marginal_rate(self, amount: float) -> float:
+        return self.rate + 2.0 * self.quad * amount
+
+
+def sample_paper_fee(rng: random.Random) -> LinearFee:
+    """Draw one channel fee with the paper's Fig-9 mix.
+
+    90% of the channels charge a proportional rate uniform in [0.1%, 1%),
+    and the remaining 10% charge uniform in [1%, 10%).
+    """
+    if rng.random() < 0.9:
+        rate = rng.uniform(0.001, 0.01)
+    else:
+        rate = rng.uniform(0.01, 0.10)
+    return LinearFee(base=0.0, rate=rate)
+
+
+def path_fee(policies: list[FeePolicy], amount: float) -> float:
+    """Total fee of sending ``amount`` across a path's channel policies."""
+    return sum(policy.fee(amount) for policy in policies)

@@ -1,0 +1,320 @@
+"""The channel graph — the offchain network substrate.
+
+A :class:`ChannelGraph` stores the set of payment channels and exposes the
+two views the routing layer needs:
+
+* the *structural topology* (who has a channel with whom), which the paper
+  assumes is locally available at every node (§3.1, "Locally available
+  topology"); and
+* the *ground-truth balances*, which routers are **not** allowed to read
+  directly — they must probe through a :class:`repro.network.view.NetworkView`.
+
+Multi-path payments execute atomically: :meth:`ChannelGraph.execute` nets
+flows per channel (partial payments in opposite directions of the same
+channel offset each other, exactly the capacity constraint of program (1)
+in §3.2) and either applies every movement or none.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import (
+    ChannelError,
+    InsufficientBalanceError,
+    NoChannelError,
+)
+from repro.network.channel import Channel, NodeId
+from repro.network.fees import FeePolicy, LinearFee, ZeroFee, sample_paper_fee
+
+_EPS = 1e-9
+
+Path = list[NodeId]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A partial payment: ``amount`` routed along ``path``."""
+
+    path: tuple[NodeId, ...]
+    amount: float
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ChannelError(f"path too short: {self.path!r}")
+        if self.amount < 0:
+            raise ChannelError(f"negative transfer amount {self.amount!r}")
+
+    def hops(self) -> Iterator[tuple[NodeId, NodeId]]:
+        return zip(self.path, self.path[1:])
+
+
+class ChannelGraph:
+    """An offchain network: nodes connected by bidirectional channels."""
+
+    def __init__(self) -> None:
+        self._adj: dict[NodeId, dict[NodeId, Channel]] = {}
+
+    # ------------------------------------------------------------ topology
+
+    def add_node(self, node: NodeId) -> None:
+        self._adj.setdefault(node, {})
+
+    def add_channel(
+        self,
+        a: NodeId,
+        b: NodeId,
+        balance_ab: float,
+        balance_ba: float,
+        fee_ab: FeePolicy | None = None,
+        fee_ba: FeePolicy | None = None,
+    ) -> Channel:
+        """Open a channel between ``a`` and ``b`` with the given deposits."""
+        if self.has_channel(a, b):
+            raise ChannelError(f"channel between {a!r} and {b!r} already exists")
+        channel = Channel(
+            a,
+            b,
+            balance_ab,
+            balance_ba,
+            fee_ab=fee_ab if fee_ab is not None else ZeroFee(),
+            fee_ba=fee_ba if fee_ba is not None else ZeroFee(),
+        )
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a][b] = channel
+        self._adj[b][a] = channel
+        return channel
+
+    def remove_channel(self, a: NodeId, b: NodeId) -> None:
+        """Close the channel between ``a`` and ``b``."""
+        if not self.has_channel(a, b):
+            raise NoChannelError(a, b)
+        del self._adj[a][b]
+        del self._adj[b][a]
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._adj
+
+    def has_channel(self, a: NodeId, b: NodeId) -> bool:
+        return a in self._adj and b in self._adj[a]
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self._adj)
+
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def num_channels(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def neighbors(self, node: NodeId) -> list[NodeId]:
+        if node not in self._adj:
+            raise NoChannelError(node, None)
+        return list(self._adj[node])
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adj.get(node, {}))
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate over each channel exactly once."""
+        seen: set[int] = set()
+        for nbrs in self._adj.values():
+            for channel in nbrs.values():
+                if id(channel) not in seen:
+                    seen.add(id(channel))
+                    yield channel
+
+    def channel(self, a: NodeId, b: NodeId) -> Channel:
+        try:
+            return self._adj[a][b]
+        except KeyError:
+            raise NoChannelError(a, b) from None
+
+    def adjacency(self) -> dict[NodeId, list[NodeId]]:
+        """Structural topology: node -> neighbor list (stable order)."""
+        return {node: list(nbrs) for node, nbrs in self._adj.items()}
+
+    # ------------------------------------------------------------ balances
+
+    def balance(self, src: NodeId, dst: NodeId) -> float:
+        """Ground-truth spendable balance on the directed edge."""
+        return self.channel(src, dst).balance(src, dst)
+
+    def total_capacity(self, a: NodeId, b: NodeId) -> float:
+        return self.channel(a, b).total_capacity()
+
+    def network_funds(self) -> float:
+        """Total funds locked across all channels — conserved by payments."""
+        return sum(channel.total_capacity() for channel in self.channels())
+
+    def fee_policy(self, src: NodeId, dst: NodeId) -> FeePolicy:
+        return self.channel(src, dst).fee_policy(src, dst)
+
+    def path_fee(self, path: Path, amount: float) -> float:
+        """Total fee for routing ``amount`` over ``path``."""
+        return sum(
+            self.fee_policy(u, v).fee(amount) for u, v in zip(path, path[1:])
+        )
+
+    def path_bottleneck(self, path: Path) -> float:
+        """Minimum directional balance along ``path`` (its effective capacity)."""
+        return min(self.balance(u, v) for u, v in zip(path, path[1:]))
+
+    # ------------------------------------------------------------ execution
+
+    def execute(self, transfers: Iterable[Transfer]) -> None:
+        """Atomically apply a set of partial payments.
+
+        Flows in opposite directions of the same channel offset each other:
+        the feasibility condition per channel is
+        ``sum(flow u->v) - sum(flow v->u) <= balance(u, v)``, matching the
+        capacity constraint of optimization program (1).  Either all
+        transfers apply or none do (the AMP atomicity assumption of §3.1).
+        """
+        net: dict[tuple[NodeId, NodeId], float] = {}
+        for transfer in transfers:
+            for u, v in transfer.hops():
+                if not self.has_channel(u, v):
+                    raise NoChannelError(u, v)
+                key, sign = ((u, v), 1.0) if (u, v) <= (v, u) else ((v, u), -1.0)
+                net[key] = net.get(key, 0.0) + sign * transfer.amount
+
+        # Feasibility check against current balances, before touching state.
+        for (u, v), flow in net.items():
+            if flow > _EPS and flow > self.balance(u, v) + _EPS:
+                raise InsufficientBalanceError(u, v, flow, self.balance(u, v))
+            if flow < -_EPS and -flow > self.balance(v, u) + _EPS:
+                raise InsufficientBalanceError(v, u, -flow, self.balance(v, u))
+
+        # All feasible: apply the netted flows.
+        for (u, v), flow in net.items():
+            if flow > _EPS:
+                self.channel(u, v).transfer(u, v, flow)
+            elif flow < -_EPS:
+                self.channel(u, v).transfer(v, u, -flow)
+
+    def execute_single(self, path: Path, amount: float) -> None:
+        """Convenience wrapper: atomically send ``amount`` along one path."""
+        self.execute([Transfer(tuple(path), amount)])
+
+    # ------------------------------------------------------------ utilities
+
+    def scale_balances(self, factor: float) -> None:
+        """Multiply every directional balance by ``factor``.
+
+        Implements the "capacity scale factor" axis of Figs 6 and 7.
+        """
+        if factor <= 0:
+            raise ChannelError(f"scale factor must be positive, got {factor!r}")
+        for channel in self.channels():
+            channel.balance_ab *= factor
+            channel.balance_ba *= factor
+
+    def assign_paper_fees(self, rng: random.Random) -> None:
+        """Assign the Fig-9 fee mix independently to every channel direction."""
+        for channel in self.channels():
+            channel.fee_ab = sample_paper_fee(rng)
+            channel.fee_ba = sample_paper_fee(rng)
+
+    def copy(self) -> ChannelGraph:
+        """Deep copy of topology, balances, and fee policies."""
+        clone = ChannelGraph()
+        for node in self._adj:
+            clone.add_node(node)
+        for channel in self.channels():
+            clone.add_channel(
+                channel.a,
+                channel.b,
+                channel.balance_ab,
+                channel.balance_ba,
+                fee_ab=channel.fee_ab,
+                fee_ba=channel.fee_ba,
+            )
+        return clone
+
+    # ------------------------------------------------------------ interop
+
+    def to_networkx(self):
+        """Export as a directed ``networkx.DiGraph`` with balance attributes."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._adj)
+        for channel in self.channels():
+            graph.add_edge(
+                channel.a,
+                channel.b,
+                balance=channel.balance(channel.a, channel.b),
+                fee=channel.fee_ab,
+            )
+            graph.add_edge(
+                channel.b,
+                channel.a,
+                balance=channel.balance(channel.b, channel.a),
+                fee=channel.fee_ba,
+            )
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph) -> ChannelGraph:
+        """Build from a ``networkx`` graph.
+
+        Directed graphs use each edge's ``balance`` attribute per direction;
+        undirected graphs split each edge's ``capacity`` (default 1.0) evenly.
+        """
+        result = cls()
+        for node in graph.nodes:
+            result.add_node(node)
+        if graph.is_directed():
+            seen: set[tuple[NodeId, NodeId]] = set()
+            for u, v, data in graph.edges(data=True):
+                if (v, u) in seen or (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                reverse = graph.get_edge_data(v, u) or {}
+                result.add_channel(
+                    u,
+                    v,
+                    float(data.get("balance", 0.0)),
+                    float(reverse.get("balance", 0.0)),
+                    fee_ab=data.get("fee"),
+                    fee_ba=reverse.get("fee"),
+                )
+        else:
+            for u, v, data in graph.edges(data=True):
+                half = float(data.get("capacity", 1.0)) / 2.0
+                result.add_channel(u, v, half, half)
+        return result
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[NodeId, NodeId, float, float]],
+        default_fee: FeePolicy | None = None,
+    ) -> ChannelGraph:
+        """Build from ``(a, b, balance_ab, balance_ba)`` tuples."""
+        result = cls()
+        fee = default_fee if default_fee is not None else ZeroFee()
+        for a, b, bal_ab, bal_ba in edges:
+            result.add_channel(a, b, bal_ab, bal_ba, fee_ab=fee, fee_ba=fee)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChannelGraph(nodes={self.num_nodes()}, "
+            f"channels={self.num_channels()})"
+        )
+
+
+def assign_uniform_fees(
+    graph: ChannelGraph, base: float, rate: float
+) -> None:
+    """Give every channel direction the same :class:`LinearFee`."""
+    policy = LinearFee(base=base, rate=rate)
+    for channel in graph.channels():
+        channel.fee_ab = policy
+        channel.fee_ba = policy

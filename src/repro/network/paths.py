@@ -1,0 +1,209 @@
+"""Path algorithms on the structural channel topology.
+
+All routers in this library (Flash and the baselines) plan on the hop-count
+metric over the *structural* adjacency — balances are unknown until probed.
+The functions here therefore take a plain ``adjacency`` mapping
+(``node -> list of neighbors``) plus an optional ``edge_ok(u, v)`` predicate
+that path searches must respect (Flash uses it to encode the residual
+capacity matrix of Algorithm 1).
+
+Implemented from scratch:
+
+* breadth-first shortest path (the subroutine of Algorithm 1);
+* Yen's k-shortest loopless paths [36] (mice routing tables, §3.3);
+* k edge-disjoint shortest paths (Spider's path choice [30]).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.network.channel import NodeId
+
+Adjacency = Mapping[NodeId, Sequence[NodeId]]
+EdgePredicate = Callable[[NodeId, NodeId], bool]
+Path = list[NodeId]
+
+
+def path_edges(path: Sequence[NodeId]) -> list[tuple[NodeId, NodeId]]:
+    """Directed edges traversed by ``path``."""
+    return list(zip(path, path[1:]))
+
+
+def is_simple_path(path: Sequence[NodeId]) -> bool:
+    """True if ``path`` visits no node twice."""
+    return len(set(path)) == len(path)
+
+
+def bfs_shortest_path(
+    adjacency: Adjacency,
+    source: NodeId,
+    target: NodeId,
+    edge_ok: EdgePredicate | None = None,
+    blocked_nodes: set[NodeId] | None = None,
+) -> Path | None:
+    """Fewest-hop path from ``source`` to ``target``, or ``None``.
+
+    ``edge_ok(u, v)`` (if given) must return True for an edge to be usable;
+    ``blocked_nodes`` are never entered (``source`` is exempt).
+    """
+    if source == target:
+        return [source]
+    if source not in adjacency or target not in adjacency:
+        return None
+    blocked = blocked_nodes or set()
+    parent: dict[NodeId, NodeId] = {source: source}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if v in parent or v in blocked:
+                continue
+            if edge_ok is not None and not edge_ok(u, v):
+                continue
+            parent[v] = u
+            if v == target:
+                return _reconstruct(parent, source, target)
+            queue.append(v)
+    return None
+
+
+def _reconstruct(
+    parent: Mapping[NodeId, NodeId], source: NodeId, target: NodeId
+) -> Path:
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def bfs_distances(
+    adjacency: Adjacency,
+    source: NodeId,
+    edge_ok: EdgePredicate | None = None,
+) -> dict[NodeId, int]:
+    """Hop distance from ``source`` to every reachable node."""
+    dist = {source: 0}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency.get(u, ()):  # tolerate dangling references
+            if v in dist:
+                continue
+            if edge_ok is not None and not edge_ok(u, v):
+                continue
+            dist[v] = dist[u] + 1
+            queue.append(v)
+    return dist
+
+
+def bfs_tree_parents(
+    adjacency: Adjacency, source: NodeId
+) -> dict[NodeId, NodeId]:
+    """Parent pointers of a BFS spanning tree rooted at ``source``.
+
+    Used by the SpeedyMurmurs embedding and by landmark routing.  The root
+    maps to itself.
+    """
+    parent = {source: source}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency.get(u, ()):
+            if v not in parent:
+                parent[v] = u
+                queue.append(v)
+    return parent
+
+
+def yen_k_shortest_paths(
+    adjacency: Adjacency,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    edge_ok: EdgePredicate | None = None,
+) -> list[Path]:
+    """Yen's algorithm [36]: up to ``k`` loopless fewest-hop paths.
+
+    Paths are returned in non-decreasing hop-count order.  Ties between
+    equal-length candidates are broken deterministically by node sequence,
+    so results are reproducible across runs.
+    """
+    if k <= 0:
+        return []
+    first = bfs_shortest_path(adjacency, source, target, edge_ok=edge_ok)
+    if first is None:
+        return []
+    paths: list[Path] = [first]
+    # Candidate set keyed by node tuple so duplicates are impossible.
+    candidates: dict[tuple[NodeId, ...], Path] = {}
+    while len(paths) < k:
+        prev = paths[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            removed_edges: set[tuple[NodeId, NodeId]] = set()
+            for accepted in paths:
+                if accepted[: i + 1] == root and len(accepted) > i + 1:
+                    removed_edges.add((accepted[i], accepted[i + 1]))
+            blocked_nodes = set(root[:-1])
+
+            def spur_edge_ok(u: NodeId, v: NodeId) -> bool:
+                if (u, v) in removed_edges:
+                    return False
+                return edge_ok is None or edge_ok(u, v)
+
+            spur = bfs_shortest_path(
+                adjacency,
+                spur_node,
+                target,
+                edge_ok=spur_edge_ok,
+                blocked_nodes=blocked_nodes,
+            )
+            if spur is not None:
+                candidate = root[:-1] + spur
+                if is_simple_path(candidate):
+                    candidates.setdefault(tuple(candidate), candidate)
+        if not candidates:
+            break
+        best_key = min(candidates, key=lambda key: (len(key), key_repr(key)))
+        paths.append(candidates.pop(best_key))
+    return paths
+
+
+def key_repr(key: tuple[NodeId, ...]) -> tuple[str, ...]:
+    """Deterministic tie-break key that tolerates mixed node-id types."""
+    return tuple(repr(node) for node in key)
+
+
+def edge_disjoint_shortest_paths(
+    adjacency: Adjacency,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    edge_ok: EdgePredicate | None = None,
+) -> list[Path]:
+    """Up to ``k`` mutually edge-disjoint fewest-hop paths (greedy).
+
+    This is the path choice of Spider [30]: repeatedly take the current
+    shortest path and remove its (directed) edges.  Greedy edge-disjoint
+    selection is not guaranteed maximal but matches the behaviour the paper
+    ascribes to Spider, including the Fig 5(b) pathology.
+    """
+    used: set[tuple[NodeId, NodeId]] = set()
+    paths: list[Path] = []
+    for _ in range(max(0, k)):
+
+        def disjoint_ok(u: NodeId, v: NodeId) -> bool:
+            if (u, v) in used:
+                return False
+            return edge_ok is None or edge_ok(u, v)
+
+        path = bfs_shortest_path(adjacency, source, target, edge_ok=disjoint_ok)
+        if path is None:
+            break
+        paths.append(path)
+        used.update(path_edges(path))
+    return paths

@@ -1,0 +1,58 @@
+"""Protocol testbed substrate: messages, nodes, 2PC, delay evaluation."""
+
+from repro.protocol.driver import PaymentDriver, SubPayment
+from repro.protocol.events import EventQueue
+from repro.protocol.messages import (
+    Message,
+    MessageType,
+    SENDER_TERMINAL_TYPES,
+    sub_payment_id,
+)
+from repro.protocol.network import (
+    DEFAULT_LATENCY,
+    DEFAULT_PROCESSING,
+    NetworkStats,
+    ProtocolNetwork,
+)
+from repro.protocol.node import ProtocolNode
+from repro.protocol.strategies import (
+    FlashStrategy,
+    ShortestPathStrategy,
+    SpiderStrategy,
+    TestbedOutcome,
+    TestbedStrategy,
+)
+from repro.protocol.testbed import (
+    TestbedExperiment,
+    TestbedResult,
+    default_strategy_factories,
+    generate_testbed_workload,
+    normalized_delays,
+    run_testbed,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY",
+    "DEFAULT_PROCESSING",
+    "EventQueue",
+    "FlashStrategy",
+    "Message",
+    "MessageType",
+    "NetworkStats",
+    "PaymentDriver",
+    "ProtocolNetwork",
+    "ProtocolNode",
+    "SENDER_TERMINAL_TYPES",
+    "ShortestPathStrategy",
+    "SpiderStrategy",
+    "SubPayment",
+    "TestbedExperiment",
+    "TestbedOutcome",
+    "TestbedResult",
+    "TestbedStrategy",
+    "default_strategy_factories",
+    "generate_testbed_workload",
+    "normalized_delays",
+    "run_testbed",
+    "sub_payment_id",
+]

@@ -1,0 +1,178 @@
+"""Sender-side protocol rounds: probe, commit, confirm, reverse.
+
+A :class:`PaymentDriver` wraps one sender node for one payment and exposes
+the synchronous primitives the routing strategies need.  Each primitive
+injects messages and drains the event queue (the testbed, like the
+paper's, plays one payment at a time), then collects the terminal replies
+from the sender's inbox.  Sub-payments issued in the same round travel
+concurrently, so a round's cost in simulated time is the *slowest* path,
+not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.network.channel import NodeId
+from repro.protocol.messages import Message, MessageType, sub_payment_id
+from repro.protocol.network import ProtocolNetwork
+
+Path = list[NodeId]
+
+
+@dataclass(frozen=True)
+class SubPayment:
+    """A partial payment in flight: its TransID, path, and amount."""
+
+    trans_id: str
+    path: tuple[NodeId, ...]
+    amount: float
+
+
+class PaymentDriver:
+    """Protocol rounds for one (sender, transaction) pair.
+
+    On a lossy network (``ProtocolNetwork(loss_rate=...)``) the driver
+    retransmits a round's unanswered messages up to ``max_retries`` times.
+    Node handlers are idempotent per TransID, so replays never double-hold
+    or double-settle.  Retransmission is end-to-end (the whole source
+    route), so a chain over ``h`` hops survives one attempt with
+    probability ``(1-loss)^(2h)`` — the default budget covers ~15% loss
+    on the path lengths the testbed uses.
+    """
+
+    def __init__(
+        self,
+        network: ProtocolNetwork,
+        sender: NodeId,
+        txid: int,
+        max_retries: int = 30,
+    ) -> None:
+        self.network = network
+        self.sender = sender
+        self.txid = txid
+        self.max_retries = max_retries
+        self._attempt = 0
+        self.probe_messages = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def _inbox(self) -> list[Message]:
+        return self.network.node(self.sender).inbox
+
+    def _collect(self, wanted: set[MessageType]) -> list[Message]:
+        inbox = self._inbox()
+        matching = [m for m in inbox if m.mtype in wanted]
+        inbox[:] = [m for m in inbox if m.mtype not in wanted]
+        return matching
+
+    def _next_trans_id(self) -> str:
+        self._attempt += 1
+        return sub_payment_id(self.txid, self._attempt)
+
+    def _exchange(
+        self,
+        requests: dict[str, Message],
+        terminal: set[MessageType],
+    ) -> dict[str, Message]:
+        """Send one round and collect its terminal replies, retransmitting
+        unanswered requests after each quiescence (loss recovery)."""
+        outstanding = dict(requests)
+        replies: dict[str, Message] = {}
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self.retransmissions += len(outstanding)
+            for message in outstanding.values():
+                self.network.inject(message)
+            self.network.run_round()
+            for reply in self._collect(terminal):
+                if reply.trans_id in outstanding:
+                    replies[reply.trans_id] = reply
+                    del outstanding[reply.trans_id]
+                # Duplicates from earlier retransmissions are ignored.
+            if not outstanding:
+                return replies
+        raise ProtocolError(
+            f"no reply for {sorted(outstanding)} after "
+            f"{self.max_retries} retransmissions"
+        )
+
+    # -------------------------------------------------------------- probing
+
+    def probe(self, path: Path) -> tuple[list[float], list[float]]:
+        """PROBE one path; returns (forward, reverse) balances per hop."""
+        if len(path) < 2:
+            raise ProtocolError(f"cannot probe path {path!r}")
+        trans_id = self._next_trans_id()
+        request = Message(
+            trans_id=trans_id, mtype=MessageType.PROBE, path=tuple(path)
+        )
+        replies = self._exchange({trans_id: request}, {MessageType.PROBE_ACK})
+        self.probe_messages += len(path) - 1
+        ack = replies[trans_id]
+        forward = [pair[0] for pair in ack.capacity]
+        reverse = [pair[1] for pair in ack.capacity]
+        return forward, reverse
+
+    # ----------------------------------------------------------- 2PC phase 1
+
+    def commit(self, requests: list[tuple[Path, float]]) -> list[tuple[SubPayment, bool]]:
+        """COMMIT a batch of sub-payments concurrently.
+
+        Returns each sub-payment with True (ACKed: escrowed end-to-end) or
+        False (NACKed: some hop lacked balance; earlier escrows remain and
+        must be reversed by the caller, as in the paper's protocol).
+        """
+        issued: list[SubPayment] = []
+        messages: dict[str, Message] = {}
+        for path, amount in requests:
+            sub = SubPayment(self._next_trans_id(), tuple(path), amount)
+            issued.append(sub)
+            messages[sub.trans_id] = Message(
+                trans_id=sub.trans_id,
+                mtype=MessageType.COMMIT,
+                path=sub.path,
+                commit=amount,
+            )
+        replies = self._exchange(
+            messages, {MessageType.COMMIT_ACK, MessageType.COMMIT_NACK}
+        )
+        return [
+            (sub, replies[sub.trans_id].mtype is MessageType.COMMIT_ACK)
+            for sub in issued
+        ]
+
+    def commit_one(self, path: Path, amount: float) -> tuple[SubPayment, bool]:
+        [(sub, ok)] = self.commit([(path, amount)])
+        return sub, ok
+
+    # ----------------------------------------------------------- 2PC phase 2
+
+    def confirm(self, subs: list[SubPayment]) -> None:
+        """CONFIRM escrowed sub-payments: settle funds along their paths."""
+        self._finish(subs, MessageType.CONFIRM, MessageType.CONFIRM_ACK)
+
+    def reverse(self, subs: list[SubPayment]) -> None:
+        """REVERSE sub-payments: release every escrow they placed."""
+        self._finish(subs, MessageType.REVERSE, MessageType.REVERSE_ACK)
+
+    def _finish(
+        self,
+        subs: list[SubPayment],
+        request: MessageType,
+        ack: MessageType,
+    ) -> None:
+        if not subs:
+            return
+        messages = {
+            sub.trans_id: Message(
+                trans_id=sub.trans_id,
+                mtype=request,
+                path=sub.path,
+                commit=sub.amount,
+            )
+            for sub in subs
+        }
+        self._exchange(messages, {ack})

@@ -1,0 +1,57 @@
+"""A minimal discrete-event scheduler for the protocol testbed.
+
+The paper's testbed runs one OS process per node over TCP; we replace the
+wall clock with simulated time.  Events are ``(time, sequence, action)``
+triples in a heap; the sequence number makes ordering deterministic for
+simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    action: Action = field(compare=False)
+
+
+class EventQueue:
+    """Deterministic simulated-time event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Run ``action`` at ``now + delay`` (delays must be non-negative)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._heap, _Event(self.now + delay, self._sequence, action))
+        self._sequence += 1
+
+    def run_until_idle(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events processed."""
+        count = 0
+        while self._heap:
+            if max_events is not None and count >= max_events:
+                raise RuntimeError(
+                    f"event budget of {max_events} exhausted - livelock?"
+                )
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            event.action()
+            count += 1
+        self.processed += count
+        return count
+
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,187 @@
+"""The testbed harness (§5.2): Watts–Strogatz networks, 10k payments,
+three schemes, processing-delay metrics.
+
+The paper runs 50- and 100-node Watts–Strogatz networks with channel
+capacities drawn uniformly from $[1000,1500)$, $[1500,2000)$, or
+$[2000,2500)$, feeds 10,000 payments with Ripple-trace volumes and random
+sender–receiver pairs, and reports success volume, success ratio, and the
+per-transaction processing delay normalized by Shortest Path (overall and
+mice-only) — Figures 12 and 13.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.network.graph import ChannelGraph
+from repro.network.topology import largest_component_nodes, testbed_topology
+from repro.protocol.network import ProtocolNetwork
+from repro.protocol.strategies import (
+    FlashStrategy,
+    ShortestPathStrategy,
+    SpiderStrategy,
+    TestbedOutcome,
+    TestbedStrategy,
+)
+from repro.traces.distributions import ripple_size_distribution
+from repro.traces.workload import Transaction, Workload
+
+StrategyFactory = Callable[[ProtocolNetwork, random.Random, Workload], TestbedStrategy]
+
+
+@dataclass
+class TestbedResult:
+    """Aggregate outcome of one scheme on one testbed configuration."""
+
+    scheme: str
+    outcomes: list[TestbedOutcome] = field(default_factory=list)
+
+    @property
+    def transactions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def success_ratio(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.success) / len(self.outcomes)
+
+    @property
+    def success_volume(self) -> float:
+        return sum(o.delivered for o in self.outcomes)
+
+    @property
+    def mean_delay(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.elapsed for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_mice_delay(self) -> float:
+        mice = [o for o in self.outcomes if o.is_mouse]
+        if not mice:
+            return 0.0
+        return sum(o.elapsed for o in mice) / len(mice)
+
+    @property
+    def probe_messages(self) -> int:
+        return sum(o.probe_messages for o in self.outcomes)
+
+
+def default_strategy_factories(
+    mice_fraction: float = 0.9,
+) -> dict[str, StrategyFactory]:
+    """The three testbed schemes of §5.2 (Flash k=20/m=4, Spider, SP)."""
+
+    def flash(
+        network: ProtocolNetwork, rng: random.Random, workload: Workload
+    ) -> FlashStrategy:
+        threshold = workload.threshold_for_mice_fraction(mice_fraction)
+        return FlashStrategy(network, rng, threshold=threshold)
+
+    def spider(
+        network: ProtocolNetwork, rng: random.Random, workload: Workload
+    ) -> SpiderStrategy:
+        return SpiderStrategy(network, rng)
+
+    def shortest_path(
+        network: ProtocolNetwork, rng: random.Random, workload: Workload
+    ) -> ShortestPathStrategy:
+        return ShortestPathStrategy(network, rng)
+
+    return {"Flash": flash, "Spider": spider, "SP": shortest_path}
+
+
+def generate_testbed_workload(
+    rng: random.Random,
+    graph: ChannelGraph,
+    n_transactions: int,
+) -> Workload:
+    """Ripple-trace volumes, uniformly random connected pairs (§5.2)."""
+    nodes = sorted(largest_component_nodes(graph), key=repr)
+    if len(nodes) < 2:
+        raise ValueError("testbed graph has no connected pair")
+    sizes = ripple_size_distribution()
+    workload = Workload()
+    for txid in range(n_transactions):
+        sender, receiver = rng.sample(nodes, 2)
+        workload.append(
+            Transaction(
+                txid=txid,
+                sender=sender,
+                receiver=receiver,
+                amount=sizes.sample(rng),
+                time=float(txid),
+            )
+        )
+    return workload
+
+
+def run_testbed(
+    graph: ChannelGraph,
+    workload: Workload,
+    factories: dict[str, StrategyFactory] | None = None,
+    seed: int = 0,
+    mice_fraction: float = 0.9,
+) -> dict[str, TestbedResult]:
+    """Run every scheme over identical initial balances and payments."""
+    factories = factories or default_strategy_factories(mice_fraction)
+    threshold = workload.threshold_for_mice_fraction(mice_fraction)
+    results: dict[str, TestbedResult] = {}
+    for name, factory in factories.items():
+        network = ProtocolNetwork(graph.copy())
+        strategy = factory(network, random.Random(seed), workload)
+        result = TestbedResult(scheme=name)
+        for transaction in workload:
+            outcome = strategy.execute(
+                transaction, is_mouse=transaction.amount < threshold
+            )
+            result.outcomes.append(outcome)
+        assert network.total_escrow() < 1e-6, "escrow leak after payments"
+        results[name] = result
+    return results
+
+
+@dataclass(frozen=True)
+class TestbedExperiment:
+    """One Fig-12/13 cell: a topology size and a capacity interval."""
+
+    #: Tell pytest this is not a test class despite the name.
+    __test__ = False
+
+    n_nodes: int
+    capacity_low: float
+    capacity_high: float
+    n_transactions: int = 10_000
+    seed: int = 0
+
+    def run(self) -> dict[str, TestbedResult]:
+        rng = random.Random(self.seed)
+        graph = testbed_topology(
+            rng,
+            n_nodes=self.n_nodes,
+            capacity_low=self.capacity_low,
+            capacity_high=self.capacity_high,
+        )
+        workload = generate_testbed_workload(rng, graph, self.n_transactions)
+        return run_testbed(graph, workload, seed=self.seed)
+
+
+def normalized_delays(
+    results: dict[str, TestbedResult], baseline: str = "SP"
+) -> dict[str, tuple[float, float]]:
+    """(overall, mice) processing delay of each scheme relative to SP."""
+    base = results[baseline]
+    if base.mean_delay <= 0:
+        raise ValueError("baseline has zero mean delay")
+    normalized = {}
+    for name, result in results.items():
+        normalized[name] = (
+            result.mean_delay / base.mean_delay,
+            result.mean_mice_delay / base.mean_mice_delay
+            if base.mean_mice_delay > 0
+            else 0.0,
+        )
+    return normalized

@@ -1,0 +1,48 @@
+"""Trace-driven simulation: engine, metrics, factories, sweeps, tables."""
+
+from repro.sim.engine import RouterFactory, run_simulation
+from repro.sim.factories import (
+    flash_all_elephant_factory,
+    flash_factory,
+    landmark_factory,
+    paper_benchmark_factories,
+    shortest_path_factory,
+    speedymurmurs_factory,
+    spider_factory,
+)
+from repro.sim.metrics import (
+    AveragedMetrics,
+    SimulationResult,
+    TransactionRecord,
+)
+from repro.sim.results import format_number, format_series, format_table
+from repro.sim.runner import (
+    DEFAULT_RUNS,
+    ComparisonResult,
+    ScenarioFactory,
+    run_comparison,
+    sweep,
+)
+
+__all__ = [
+    "AveragedMetrics",
+    "ComparisonResult",
+    "DEFAULT_RUNS",
+    "RouterFactory",
+    "ScenarioFactory",
+    "SimulationResult",
+    "TransactionRecord",
+    "flash_all_elephant_factory",
+    "flash_factory",
+    "format_number",
+    "format_series",
+    "format_table",
+    "landmark_factory",
+    "paper_benchmark_factories",
+    "run_comparison",
+    "run_simulation",
+    "shortest_path_factory",
+    "speedymurmurs_factory",
+    "spider_factory",
+    "sweep",
+]

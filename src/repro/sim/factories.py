@@ -1,0 +1,139 @@
+"""Router factories with the paper's §4.1 configurations.
+
+A :data:`~repro.sim.engine.RouterFactory` builds a router for one run given
+the network view, the workload (used to set Flash's elephant threshold the
+way the paper does — "such that 90% of payments are mice"), and the run's
+RNG.  These helpers return the standard four benchmark schemes plus the
+extension baselines, all parameterized for the microbenchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.landmark import LandmarkRouter
+from repro.baselines.shortest_path import ShortestPathRouter
+from repro.baselines.speedymurmurs import SpeedyMurmursRouter
+from repro.baselines.spider import SpiderRouter
+from repro.core.classifier import (
+    StaticThresholdClassifier,
+    StreamingQuantileClassifier,
+)
+from repro.core.flash import DEFAULT_K, DEFAULT_M, FlashRouter
+from repro.network.view import NetworkView
+from repro.sim.engine import RouterFactory
+from repro.traces.workload import Workload
+
+
+def flash_factory(
+    k: int = DEFAULT_K,
+    m: int = DEFAULT_M,
+    mice_fraction: float = 0.9,
+    optimize_fees: bool = True,
+    shuffle_mice_paths: bool = True,
+) -> RouterFactory:
+    """Flash with the paper's defaults: k=20, m=4, 90% mice."""
+
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> FlashRouter:
+        classifier = StaticThresholdClassifier.from_workload(
+            workload, mice_fraction
+        )
+        return FlashRouter(
+            view,
+            classifier=classifier,
+            k=k,
+            m=m,
+            rng=rng,
+            optimize_fees=optimize_fees,
+            shuffle_mice_paths=shuffle_mice_paths,
+        )
+
+    return build
+
+
+def flash_all_elephant_factory(k: int = DEFAULT_K) -> RouterFactory:
+    """Flash routing *everything* as elephants (Fig 10's 0% / Fig 11's m=0)."""
+
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> FlashRouter:
+        return FlashRouter(
+            view,
+            classifier=StaticThresholdClassifier.all_elephants(),
+            k=k,
+            rng=rng,
+        )
+
+    return build
+
+
+def flash_streaming_factory(
+    k: int = DEFAULT_K,
+    m: int = DEFAULT_M,
+    mice_fraction: float = 0.9,
+    window: int = 2_000,
+) -> RouterFactory:
+    """Flash with the *online* threshold estimator (extension).
+
+    Unlike the paper's offline threshold (computed from the full trace),
+    the streaming classifier learns the mice quantile from the payments it
+    has already routed — what a deployed node would actually do.
+    """
+
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> FlashRouter:
+        classifier = StreamingQuantileClassifier(
+            mice_fraction=mice_fraction, window=window
+        )
+        return FlashRouter(view, classifier=classifier, k=k, m=m, rng=rng)
+
+    return build
+
+
+def spider_factory(num_paths: int = 4) -> RouterFactory:
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> SpiderRouter:
+        return SpiderRouter(view, num_paths=num_paths)
+
+    return build
+
+
+def shortest_path_factory() -> RouterFactory:
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> ShortestPathRouter:
+        return ShortestPathRouter(view)
+
+    return build
+
+
+def speedymurmurs_factory(num_landmarks: int = 3) -> RouterFactory:
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> SpeedyMurmursRouter:
+        return SpeedyMurmursRouter(view, num_landmarks=num_landmarks, rng=rng)
+
+    return build
+
+
+def landmark_factory(num_landmarks: int = 3) -> RouterFactory:
+    def build(
+        view: NetworkView, workload: Workload, rng: random.Random
+    ) -> LandmarkRouter:
+        return LandmarkRouter(view, num_landmarks=num_landmarks)
+
+    return build
+
+
+def paper_benchmark_factories() -> dict[str, RouterFactory]:
+    """The four schemes of Figs 6–8 keyed by display name."""
+    return {
+        "Flash": flash_factory(),
+        "Spider": spider_factory(),
+        "SpeedyMurmurs": speedymurmurs_factory(),
+        "Shortest Path": shortest_path_factory(),
+    }

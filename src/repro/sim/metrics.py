@@ -1,0 +1,171 @@
+"""Metrics for the trace-driven simulation (§4.1, "Metrics").
+
+The paper's primary metrics are **success ratio** (fraction of payments
+delivered), **success volume** (total delivered amount), and the **number
+of probing messages**.  We additionally track payment messages, fees, and
+the elephant/mice breakdown needed by the Fig 10/11 microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """Per-transaction accounting captured by the engine."""
+
+    txid: int
+    amount: float
+    success: bool
+    fee: float
+    is_elephant: bool
+    probe_messages: int
+    payment_messages: int
+    paths_used: int
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one simulation run for one scheme."""
+
+    scheme: str
+    records: list[TransactionRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------- scalars
+
+    @property
+    def transactions(self) -> int:
+        return len(self.records)
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for record in self.records if record.success)
+
+    @property
+    def success_ratio(self) -> float:
+        return self.succeeded / self.transactions if self.records else 0.0
+
+    @property
+    def attempted_volume(self) -> float:
+        return sum(record.amount for record in self.records)
+
+    @property
+    def success_volume(self) -> float:
+        return sum(record.amount for record in self.records if record.success)
+
+    @property
+    def probe_messages(self) -> int:
+        return sum(record.probe_messages for record in self.records)
+
+    @property
+    def payment_messages(self) -> int:
+        return sum(record.payment_messages for record in self.records)
+
+    @property
+    def total_fees(self) -> float:
+        return sum(record.fee for record in self.records if record.success)
+
+    @property
+    def fee_to_volume_percent(self) -> float:
+        """Fig 9's metric: total fees as a percentage of delivered volume."""
+        volume = self.success_volume
+        return 100.0 * self.total_fees / volume if volume > 0 else 0.0
+
+    # ------------------------------------------------------ class breakdown
+
+    def _class_records(self, elephant: bool) -> list[TransactionRecord]:
+        return [r for r in self.records if r.is_elephant == elephant]
+
+    @property
+    def mice_success_volume(self) -> float:
+        return sum(r.amount for r in self._class_records(False) if r.success)
+
+    @property
+    def elephant_success_volume(self) -> float:
+        return sum(r.amount for r in self._class_records(True) if r.success)
+
+    @property
+    def mice_probe_messages(self) -> int:
+        """Probing spent on mice-class payments (the Fig 11b metric)."""
+        return sum(r.probe_messages for r in self._class_records(False))
+
+    @property
+    def elephant_probe_messages(self) -> int:
+        return sum(r.probe_messages for r in self._class_records(True))
+
+    @property
+    def mice_success_ratio(self) -> float:
+        mice = self._class_records(False)
+        if not mice:
+            return 0.0
+        return sum(1 for r in mice if r.success) / len(mice)
+
+    @property
+    def elephant_success_ratio(self) -> float:
+        elephants = self._class_records(True)
+        if not elephants:
+            return 0.0
+        return sum(1 for r in elephants if r.success) / len(elephants)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the headline metrics (handy for tables/tests)."""
+        return {
+            "transactions": float(self.transactions),
+            "success_ratio": self.success_ratio,
+            "success_volume": self.success_volume,
+            "probe_messages": float(self.probe_messages),
+            "payment_messages": float(self.payment_messages),
+            "fee_to_volume_percent": self.fee_to_volume_percent,
+        }
+
+
+@dataclass(frozen=True)
+class AveragedMetrics:
+    """Mean of the headline metrics over several runs (paper: 5 runs)."""
+
+    scheme: str
+    runs: int
+    success_ratio: float
+    success_volume: float
+    probe_messages: float
+    payment_messages: float
+    fee_to_volume_percent: float
+    mice_success_volume: float
+    elephant_success_volume: float
+    mice_probe_messages: float
+    elephant_probe_messages: float
+
+    @classmethod
+    def of(cls, results: Sequence[SimulationResult]) -> "AveragedMetrics":
+        if not results:
+            raise ValueError("no results to average")
+        schemes = {result.scheme for result in results}
+        if len(schemes) != 1:
+            raise ValueError(f"mixed schemes in average: {schemes}")
+        n = len(results)
+
+        def mean(values: Iterable[float]) -> float:
+            values = list(values)
+            return sum(values) / len(values)
+
+        return cls(
+            scheme=results[0].scheme,
+            runs=n,
+            success_ratio=mean(r.success_ratio for r in results),
+            success_volume=mean(r.success_volume for r in results),
+            probe_messages=mean(r.probe_messages for r in results),
+            payment_messages=mean(r.payment_messages for r in results),
+            fee_to_volume_percent=mean(
+                r.fee_to_volume_percent for r in results
+            ),
+            mice_success_volume=mean(r.mice_success_volume for r in results),
+            elephant_success_volume=mean(
+                r.elephant_success_volume for r in results
+            ),
+            mice_probe_messages=mean(r.mice_probe_messages for r in results),
+            elephant_probe_messages=mean(
+                r.elephant_probe_messages for r in results
+            ),
+        )

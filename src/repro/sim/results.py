@@ -1,0 +1,55 @@
+"""Result presentation: ASCII tables and series, the shape of the paper's
+figures.
+
+``format_table`` renders rows the way the benchmark harness prints them;
+``format_series`` renders one line per scheme for a swept parameter, i.e.
+one paper line-plot as text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_number(value: float) -> str:
+    """Compact human formatting: 1234567 -> '1.235e6', 0.91 -> '0.910'."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.3e}"
+    if magnitude >= 100:
+        return f"{value:,.1f}"
+    return f"{value:.3f}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A fixed-width ASCII table with a separator under the header."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    value_label: str,
+) -> str:
+    """One paper line-plot as a table: x values as columns, one scheme/row."""
+    headers = [f"{value_label} \\ {x_label}"] + [str(x) for x in x_values]
+    rows = []
+    for scheme, values in series.items():
+        rows.append([scheme] + [format_number(v) for v in values])
+    return format_table(headers, rows)

@@ -1,0 +1,95 @@
+"""Multi-run experiment orchestration: seeds, sweeps, averaging.
+
+The paper reports the average of 5 independent runs (§4.1).  A *scenario*
+here is a callable building (graph, workload) from a seed; the runner
+replays every scheme on identical scenarios and averages the metrics.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.network.graph import ChannelGraph
+from repro.sim.engine import RouterFactory, run_simulation
+from repro.sim.metrics import AveragedMetrics, SimulationResult
+from repro.traces.workload import Workload
+
+#: Builds the (topology, workload) pair for one seeded run.
+ScenarioFactory = Callable[[random.Random], tuple[ChannelGraph, Workload]]
+
+DEFAULT_RUNS = 5
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Averaged metrics for every scheme on a common scenario."""
+
+    metrics: dict[str, AveragedMetrics]
+
+    def __getitem__(self, scheme: str) -> AveragedMetrics:
+        return self.metrics[scheme]
+
+    def schemes(self) -> list[str]:
+        return list(self.metrics)
+
+
+def run_comparison(
+    scenario: ScenarioFactory,
+    factories: dict[str, RouterFactory],
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+    reference_mice_fraction: float = 0.9,
+) -> ComparisonResult:
+    """Average each scheme over ``runs`` seeded replications.
+
+    Every scheme within a run sees the *same* graph copy and workload, so
+    differences are attributable to routing alone.
+    """
+    if runs <= 0:
+        raise ValueError(f"runs must be positive, got {runs}")
+    per_scheme: dict[str, list[SimulationResult]] = {name: [] for name in factories}
+    for run_index in range(runs):
+        scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
+        graph, workload = scenario(scenario_rng)
+        for name, factory in factories.items():
+            name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
+            router_rng = random.Random(base_seed + 7_919 * run_index + name_salt)
+            result = run_simulation(
+                graph,
+                factory,
+                workload,
+                rng=router_rng,
+                reference_mice_fraction=reference_mice_fraction,
+            )
+            per_scheme[name].append(result)
+    return ComparisonResult(
+        metrics={
+            name: AveragedMetrics.of(results)
+            for name, results in per_scheme.items()
+        }
+    )
+
+
+def sweep(
+    values: Sequence,
+    scenario_for: Callable[[object], ScenarioFactory],
+    factories: dict[str, RouterFactory],
+    runs: int = DEFAULT_RUNS,
+    base_seed: int = 0,
+) -> dict[str, list[AveragedMetrics]]:
+    """Run a parameter sweep: one comparison per value.
+
+    Returns ``{scheme: [AveragedMetrics per swept value]}`` — exactly the
+    series shape of the paper's line plots (Figs 6, 7, 10, 11).
+    """
+    series: dict[str, list[AveragedMetrics]] = {name: [] for name in factories}
+    for value in values:
+        comparison = run_comparison(
+            scenario_for(value), factories, runs=runs, base_seed=base_seed
+        )
+        for name in factories:
+            series[name].append(comparison[name])
+    return series

@@ -1,0 +1,69 @@
+"""Trace substrate: calibrated workload generation and measurement analysis."""
+
+from repro.traces.analysis import (
+    SizeSummary,
+    daily_windows,
+    empirical_cdf,
+    recurrence_summary,
+    recurring_fraction_per_day,
+    top_k_receiver_share_per_day,
+    volume_share_of_top,
+)
+from repro.traces.distributions import (
+    BITCOIN_MEDIAN_SAT,
+    BITCOIN_P90_SAT,
+    BITCOIN_TOP_DECILE_VOLUME,
+    RIPPLE_MEDIAN_USD,
+    RIPPLE_P90_USD,
+    RIPPLE_TOP_DECILE_VOLUME,
+    LogNormalSpec,
+    PaymentSizeDistribution,
+    bitcoin_size_distribution,
+    make_calibrated_distribution,
+    ripple_size_distribution,
+)
+from repro.traces.generators import (
+    SECONDS_PER_DAY,
+    generate_lightning_workload,
+    generate_multiday_trace,
+    generate_ripple_workload,
+    generate_workload,
+)
+from repro.traces.recurrence import (
+    RecurrentPairSampler,
+    uniform_pairs,
+    zipf_weights,
+)
+from repro.traces.workload import Transaction, Workload, percentile
+
+__all__ = [
+    "BITCOIN_MEDIAN_SAT",
+    "BITCOIN_P90_SAT",
+    "BITCOIN_TOP_DECILE_VOLUME",
+    "LogNormalSpec",
+    "PaymentSizeDistribution",
+    "RecurrentPairSampler",
+    "RIPPLE_MEDIAN_USD",
+    "RIPPLE_P90_USD",
+    "RIPPLE_TOP_DECILE_VOLUME",
+    "SECONDS_PER_DAY",
+    "SizeSummary",
+    "Transaction",
+    "Workload",
+    "bitcoin_size_distribution",
+    "daily_windows",
+    "empirical_cdf",
+    "generate_lightning_workload",
+    "generate_multiday_trace",
+    "generate_ripple_workload",
+    "generate_workload",
+    "make_calibrated_distribution",
+    "percentile",
+    "recurrence_summary",
+    "recurring_fraction_per_day",
+    "ripple_size_distribution",
+    "top_k_receiver_share_per_day",
+    "uniform_pairs",
+    "volume_share_of_top",
+    "zipf_weights",
+]

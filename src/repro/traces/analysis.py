@@ -1,0 +1,118 @@
+"""Trace analysis — reproduces the measurement study of §2.2 (Figs 3 & 4).
+
+Given any :class:`~repro.traces.workload.Workload`, these functions compute
+the statistics the paper reports: payment-size CDFs and tail volume shares
+(Fig 3), the per-day fraction of recurring transactions (Fig 4a), and the
+per-day share of a sender's traffic going to its top-5 recurring receivers
+(Fig 4b).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.traces.generators import SECONDS_PER_DAY
+from repro.traces.workload import Transaction, Workload, percentile
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple[list[float], list[float]]:
+    """(sorted values, cumulative fractions) — the Fig 3 series."""
+    if not values:
+        return [], []
+    ordered = sorted(values)
+    n = len(ordered)
+    fractions = [(i + 1) / n for i in range(n)]
+    return ordered, fractions
+
+
+def volume_share_of_top(values: Sequence[float], fraction: float) -> float:
+    """Share of total volume carried by the largest ``fraction`` of values."""
+    if not values:
+        raise ValueError("empty value sequence")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(values, reverse=True)
+    count = max(1, int(round(fraction * len(ordered))))
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    return sum(ordered[:count]) / total
+
+
+@dataclass(frozen=True)
+class SizeSummary:
+    """The Fig-3 headline statistics of a size sample."""
+
+    count: int
+    median: float
+    p90: float
+    top_decile_volume_share: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SizeSummary":
+        return cls(
+            count=len(values),
+            median=percentile(values, 0.5),
+            p90=percentile(values, 0.9),
+            top_decile_volume_share=volume_share_of_top(values, 0.10),
+        )
+
+
+def daily_windows(workload: Workload) -> dict[int, list[Transaction]]:
+    """Group transactions into 24-hour windows keyed by day index."""
+    windows: dict[int, list[Transaction]] = defaultdict(list)
+    for txn in workload:
+        windows[int(txn.time // SECONDS_PER_DAY)].append(txn)
+    return dict(windows)
+
+
+def recurring_fraction_per_day(workload: Workload) -> list[float]:
+    """Fig 4a: per 24-hour window, the fraction of transactions whose
+    (sender, receiver) pair already appeared earlier in the same window."""
+    fractions = []
+    for _, txns in sorted(daily_windows(workload).items()):
+        if not txns:
+            continue
+        seen: set[tuple] = set()
+        recurring = 0
+        for txn in txns:
+            pair = (txn.sender, txn.receiver)
+            if pair in seen:
+                recurring += 1
+            else:
+                seen.add(pair)
+        fractions.append(recurring / len(txns))
+    return fractions
+
+
+def top_k_receiver_share_per_day(workload: Workload, k: int = 5) -> list[float]:
+    """Fig 4b: per day, the average (over senders) share of a sender's
+    transactions that go to its top-``k`` receivers."""
+    shares = []
+    for _, txns in sorted(daily_windows(workload).items()):
+        per_sender: dict = defaultdict(Counter)
+        for txn in txns:
+            per_sender[txn.sender][txn.receiver] += 1
+        if not per_sender:
+            continue
+        sender_shares = []
+        for counts in per_sender.values():
+            total = sum(counts.values())
+            top = sum(count for _, count in counts.most_common(k))
+            sender_shares.append(top / total)
+        shares.append(sum(sender_shares) / len(sender_shares))
+    return shares
+
+
+def recurrence_summary(workload: Workload, k: int = 5) -> dict[str, float]:
+    """Headline Fig-4 statistics: median recurring fraction and median
+    top-k receiver share across days."""
+    daily = recurring_fraction_per_day(workload)
+    topk = top_k_receiver_share_per_day(workload, k)
+    return {
+        "median_recurring_fraction": percentile(daily, 0.5) if daily else 0.0,
+        "median_top_k_share": percentile(topk, 0.5) if topk else 0.0,
+        "days": float(len(daily)),
+    }

@@ -1,0 +1,64 @@
+"""Tests for the landmark (SilentWhispers-flavored) baseline."""
+
+import pytest
+
+from repro.baselines.landmark import LandmarkRouter, splice_paths
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+
+def txn(amount, sender=0, receiver=8, txid=0):
+    return Transaction(txid=txid, sender=sender, receiver=receiver, amount=amount)
+
+
+class TestSplice:
+    def test_simple_concatenation(self):
+        assert splice_paths([0, 1, 2], [2, 3]) == [0, 1, 2, 3]
+
+    def test_loop_removed(self):
+        # Up to the landmark and straight back down through the same node.
+        assert splice_paths([0, 1, 2], [2, 1, 5]) == [0, 1, 5]
+
+    def test_full_backtrack(self):
+        assert splice_paths([0, 1, 2], [2, 1, 0, 7]) == [0, 7]
+
+    def test_mismatched_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            splice_paths([0, 1], [2, 3])
+
+
+class TestLandmarkRouter:
+    def test_delivers(self, grid_graph):
+        router = LandmarkRouter(NetworkView(grid_graph))
+        outcome = router.route(txn(9.0))
+        assert outcome.success
+
+    def test_paths_are_walks_through_graph(self, grid_graph):
+        adjacency = grid_graph.adjacency()
+        router = LandmarkRouter(NetworkView(grid_graph))
+        outcome = router.route(txn(9.0))
+        for path, _ in outcome.transfers:
+            for u, v in zip(path, path[1:]):
+                assert v in adjacency[u]
+
+    def test_no_probing(self, grid_graph):
+        view = NetworkView(grid_graph)
+        router = LandmarkRouter(view)
+        router.route(txn(9.0))
+        assert view.counters.probe_messages == 0
+
+    def test_failure_atomic(self, grid_graph):
+        view = NetworkView(grid_graph)
+        router = LandmarkRouter(view)
+        funds = grid_graph.network_funds()
+        assert not router.route(txn(1e6)).success
+        assert grid_graph.network_funds() == pytest.approx(funds)
+
+    def test_unreachable_fails(self, grid_graph):
+        grid_graph.add_node(99)
+        router = LandmarkRouter(NetworkView(grid_graph))
+        assert not router.route(txn(1.0, receiver=99)).success
+
+    def test_validation(self, grid_graph):
+        with pytest.raises(ValueError):
+            LandmarkRouter(NetworkView(grid_graph), num_landmarks=0)

@@ -1,0 +1,59 @@
+"""Tests for the Shortest Path baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.shortest_path import ShortestPathRouter
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+
+def make_router(graph):
+    view = NetworkView(graph)
+    return ShortestPathRouter(view), view
+
+
+def txn(amount, sender=0, receiver=3, txid=0):
+    return Transaction(txid=txid, sender=sender, receiver=receiver, amount=amount)
+
+
+class TestShortestPath:
+    def test_delivers_on_shortest_path(self, diamond_graph):
+        router, _ = make_router(diamond_graph)
+        outcome = router.route(txn(30.0))
+        assert outcome.success
+        path, amount = outcome.transfers[0]
+        assert len(path) == 3  # one of the 2-hop paths
+        assert amount == 30.0
+
+    def test_never_probes(self, diamond_graph):
+        router, view = make_router(diamond_graph)
+        router.route(txn(30.0))
+        router.route(txn(500.0, txid=1))  # fails, still no probing
+        assert view.counters.probe_messages == 0
+
+    def test_fails_beyond_single_path_capacity(self, diamond_graph):
+        router, _ = make_router(diamond_graph)
+        # 80 > any single 50-capacity path even though the network fits it.
+        assert not router.route(txn(80.0)).success
+
+    def test_failure_atomic(self, diamond_graph):
+        router, _ = make_router(diamond_graph)
+        before = diamond_graph.network_funds()
+        router.route(txn(80.0))
+        assert diamond_graph.network_funds() == pytest.approx(before)
+        assert diamond_graph.balance(0, 1) == 50.0
+
+    def test_unreachable_fails(self, diamond_graph):
+        diamond_graph.add_node(9)
+        router, _ = make_router(diamond_graph)
+        assert not router.route(txn(1.0, receiver=9)).success
+
+    def test_path_cache_refreshed_on_topology_update(self, diamond_graph):
+        router, _ = make_router(diamond_graph)
+        router.route(txn(1.0))
+        diamond_graph.remove_channel(0, 1)
+        diamond_graph.remove_channel(0, 2)
+        router.on_topology_update()
+        assert not router.route(txn(1.0, txid=1)).success

@@ -1,0 +1,100 @@
+"""Tests for the SpeedyMurmurs baseline (embedding-based routing)."""
+
+import random
+
+import pytest
+
+from repro.baselines.speedymurmurs import (
+    SpeedyMurmursRouter,
+    tree_coordinates,
+    tree_distance,
+)
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+
+def txn(amount, sender=0, receiver=8, txid=0):
+    return Transaction(txid=txid, sender=sender, receiver=receiver, amount=amount)
+
+
+class TestEmbedding:
+    def test_coordinates_cover_component(self, grid_graph):
+        coords = tree_coordinates(grid_graph.adjacency(), 0)
+        assert set(coords) == set(grid_graph.nodes)
+
+    def test_root_coordinate(self, grid_graph):
+        coords = tree_coordinates(grid_graph.adjacency(), 4)
+        assert coords[4] == (4,)
+
+    def test_coordinate_prefix_is_parent_chain(self, grid_graph):
+        coords = tree_coordinates(grid_graph.adjacency(), 0)
+        for node, coord in coords.items():
+            assert coord[-1] == node
+            assert coord[0] == 0
+
+    def test_tree_distance_symmetric(self, grid_graph):
+        coords = tree_coordinates(grid_graph.adjacency(), 0)
+        assert tree_distance(coords[5], coords[7]) == tree_distance(
+            coords[7], coords[5]
+        )
+
+    def test_tree_distance_identity(self, grid_graph):
+        coords = tree_coordinates(grid_graph.adjacency(), 0)
+        assert tree_distance(coords[5], coords[5]) == 0
+
+    def test_tree_distance_counts_hops(self):
+        a = ("r", "x", "y")
+        b = ("r", "x", "z", "w")
+        assert tree_distance(a, b) == 1 + 2
+
+
+class TestRouter:
+    def test_delivers_small_payment(self, grid_graph):
+        router = SpeedyMurmursRouter(
+            NetworkView(grid_graph), rng=random.Random(0)
+        )
+        outcome = router.route(txn(10.0))
+        assert outcome.success
+        assert outcome.delivered == 10.0
+
+    def test_splits_across_trees(self, grid_graph):
+        router = SpeedyMurmursRouter(
+            NetworkView(grid_graph), num_landmarks=3, rng=random.Random(0)
+        )
+        outcome = router.route(txn(9.0))
+        assert len(outcome.transfers) == 3
+        assert sum(a for _, a in outcome.transfers) == pytest.approx(9.0)
+
+    def test_transfers_are_valid_walks(self, grid_graph):
+        adjacency = grid_graph.adjacency()
+        router = SpeedyMurmursRouter(
+            NetworkView(grid_graph), rng=random.Random(0)
+        )
+        outcome = router.route(txn(10.0))
+        for path, _ in outcome.transfers:
+            assert path[0] == 0 and path[-1] == 8
+            for u, v in zip(path, path[1:]):
+                assert v in adjacency[u]
+
+    def test_static_no_probing(self, grid_graph):
+        view = NetworkView(grid_graph)
+        router = SpeedyMurmursRouter(view, rng=random.Random(0))
+        router.route(txn(10.0))
+        assert view.counters.probe_messages == 0
+
+    def test_failure_atomic(self, grid_graph):
+        view = NetworkView(grid_graph)
+        router = SpeedyMurmursRouter(view, rng=random.Random(0))
+        funds = grid_graph.network_funds()
+        router.route(txn(10_000.0))
+        assert grid_graph.network_funds() == pytest.approx(funds)
+
+    def test_big_payment_fails(self, grid_graph):
+        router = SpeedyMurmursRouter(
+            NetworkView(grid_graph), rng=random.Random(0)
+        )
+        assert not router.route(txn(10_000.0)).success
+
+    def test_validation(self, grid_graph):
+        with pytest.raises(ValueError):
+            SpeedyMurmursRouter(NetworkView(grid_graph), num_landmarks=0)

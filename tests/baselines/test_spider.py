@@ -1,0 +1,84 @@
+"""Tests for the Spider baseline (waterfilling over edge-disjoint paths)."""
+
+import pytest
+
+from repro.baselines.spider import SpiderRouter, waterfill
+from repro.network.view import NetworkView
+from repro.traces.workload import Transaction
+
+
+def txn(amount, sender=0, receiver=3, txid=0):
+    return Transaction(txid=txid, sender=sender, receiver=receiver, amount=amount)
+
+
+class TestWaterfill:
+    def test_infeasible_returns_none(self):
+        assert waterfill([10.0, 10.0], 30.0) is None
+
+    def test_zero_demand(self):
+        assert waterfill([10.0, 5.0], 0.0) == [0.0, 0.0]
+
+    def test_exact_fill(self):
+        allocations = waterfill([10.0, 20.0], 30.0)
+        assert allocations == pytest.approx([10.0, 20.0])
+
+    def test_equalizes_residuals(self):
+        allocations = waterfill([50.0, 30.0], 40.0)
+        residuals = [c - a for c, a in zip([50.0, 30.0], allocations)]
+        assert residuals[0] == pytest.approx(residuals[1])
+        assert sum(allocations) == pytest.approx(40.0)
+
+    def test_small_demand_goes_to_largest(self):
+        allocations = waterfill([50.0, 10.0], 20.0)
+        assert allocations[0] == pytest.approx(20.0)
+        assert allocations[1] == pytest.approx(0.0)
+
+    def test_level_between_capacities(self):
+        allocations = waterfill([60.0, 30.0, 10.0], 50.0)
+        assert sum(allocations) == pytest.approx(50.0)
+        # The smallest path stays untouched at this demand.
+        assert allocations[2] == pytest.approx(0.0)
+
+    def test_never_exceeds_capacity(self):
+        allocations = waterfill([5.0, 25.0, 15.0], 44.0)
+        for allocation, capacity in zip(allocations, [5.0, 25.0, 15.0]):
+            assert allocation <= capacity + 1e-9
+
+
+class TestSpiderRouter:
+    def test_balances_load_across_paths(self, diamond_graph):
+        view = NetworkView(diamond_graph)
+        router = SpiderRouter(view)
+        outcome = router.route(txn(80.0))
+        assert outcome.success
+        assert len(outcome.transfers) == 2  # both disjoint paths used
+
+    def test_probes_every_payment(self, diamond_graph):
+        view = NetworkView(diamond_graph)
+        router = SpiderRouter(view)
+        router.route(txn(5.0, txid=0))
+        first = view.counters.probe_operations
+        router.route(txn(5.0, txid=1))
+        assert view.counters.probe_operations == 2 * first
+
+    def test_fails_beyond_disjoint_capacity(self, diamond_graph):
+        view = NetworkView(diamond_graph)
+        router = SpiderRouter(view)
+        # Disjoint paths carry 100 total; the cross edge is unreachable.
+        assert not router.route(txn(105.0)).success
+
+    def test_failure_atomic(self, diamond_graph):
+        view = NetworkView(diamond_graph)
+        router = SpiderRouter(view)
+        before = diamond_graph.balance(0, 1)
+        router.route(txn(105.0))
+        assert diamond_graph.balance(0, 1) == before
+
+    def test_num_paths_validation(self, diamond_graph):
+        with pytest.raises(ValueError):
+            SpiderRouter(NetworkView(diamond_graph), num_paths=0)
+
+    def test_unreachable_fails(self, diamond_graph):
+        diamond_graph.add_node(9)
+        router = SpiderRouter(NetworkView(diamond_graph))
+        assert not router.route(txn(1.0, receiver=9)).success

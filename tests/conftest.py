@@ -1,0 +1,57 @@
+"""Shared fixtures: small canonical topologies and seeded RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.graph import ChannelGraph
+from repro.network.topology import grid_topology, line_topology
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def line_graph() -> ChannelGraph:
+    """0 - 1 - 2 - 3, each direction funded with 100."""
+    return line_topology(4, balance=100.0)
+
+
+@pytest.fixture
+def grid_graph() -> ChannelGraph:
+    """3x3 grid, each direction funded with 100."""
+    return grid_topology(3, 3, balance=100.0)
+
+
+@pytest.fixture
+def diamond_graph() -> ChannelGraph:
+    """Two disjoint 2-hop paths 0->1->3 and 0->2->3 plus a cross edge 1-2.
+
+    A minimal topology where multi-path routing beats single-path.
+    """
+    graph = ChannelGraph()
+    graph.add_channel(0, 1, 50.0, 50.0)
+    graph.add_channel(1, 3, 50.0, 50.0)
+    graph.add_channel(0, 2, 50.0, 50.0)
+    graph.add_channel(2, 3, 50.0, 50.0)
+    graph.add_channel(1, 2, 10.0, 10.0)
+    return graph
+
+
+@pytest.fixture
+def fig5a_graph() -> ChannelGraph:
+    """The paper's Figure 5(a): shortest paths share a 30-capacity
+    bottleneck 1-2 while 1-5-4-6 is underutilized."""
+    graph = ChannelGraph()
+    graph.add_channel(1, 2, 30.0, 30.0)
+    graph.add_channel(2, 3, 30.0, 30.0)
+    graph.add_channel(2, 6, 30.0, 0.0)
+    graph.add_channel(3, 6, 30.0, 30.0)
+    graph.add_channel(1, 5, 20.0, 20.0)
+    graph.add_channel(5, 4, 20.0, 20.0)
+    graph.add_channel(4, 6, 20.0, 20.0)
+    return graph

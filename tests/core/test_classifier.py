@@ -1,0 +1,77 @@
+"""Tests for elephant/mice classification."""
+
+import pytest
+
+from repro.core.classifier import (
+    StaticThresholdClassifier,
+    StreamingQuantileClassifier,
+)
+from repro.traces.workload import Transaction, Workload
+
+
+def make_workload(amounts):
+    return Workload(
+        [
+            Transaction(txid=i, sender=0, receiver=1, amount=a)
+            for i, a in enumerate(amounts)
+        ]
+    )
+
+
+class TestStaticClassifier:
+    def test_threshold_boundary(self):
+        classifier = StaticThresholdClassifier(threshold=100.0)
+        assert classifier.is_elephant(100.0)
+        assert not classifier.is_elephant(99.999)
+
+    def test_from_workload_90_percent_mice(self):
+        workload = make_workload([float(i) for i in range(1, 101)])
+        classifier = StaticThresholdClassifier.from_workload(workload, 0.9)
+        mice = sum(1 for t in workload if not classifier.is_elephant(t.amount))
+        assert abs(mice - 90) <= 1
+
+    def test_all_mice(self):
+        classifier = StaticThresholdClassifier.all_mice()
+        assert not classifier.is_elephant(1e300)
+
+    def test_all_elephants(self):
+        classifier = StaticThresholdClassifier.all_elephants()
+        assert classifier.is_elephant(0.001)
+
+    def test_observe_is_noop(self):
+        classifier = StaticThresholdClassifier(threshold=5.0)
+        classifier.observe(1_000.0)
+        assert classifier.threshold == 5.0
+
+
+class TestStreamingClassifier:
+    def test_warmup_treats_all_as_mice(self):
+        classifier = StreamingQuantileClassifier(min_observations=10)
+        assert not classifier.is_elephant(1e9)
+
+    def test_tracks_quantile(self):
+        classifier = StreamingQuantileClassifier(
+            mice_fraction=0.9, min_observations=10
+        )
+        for amount in range(1, 101):
+            classifier.observe(float(amount))
+        assert 85.0 <= classifier.threshold <= 95.0
+        assert classifier.is_elephant(99.0)
+        assert not classifier.is_elephant(50.0)
+
+    def test_window_slides(self):
+        classifier = StreamingQuantileClassifier(
+            mice_fraction=0.5, window=10, min_observations=5
+        )
+        for _ in range(20):
+            classifier.observe(1.0)
+        for _ in range(10):
+            classifier.observe(100.0)
+        # Window now holds only the 100s.
+        assert classifier.threshold == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingQuantileClassifier(mice_fraction=1.5)
+        with pytest.raises(ValueError):
+            StreamingQuantileClassifier(window=0)

@@ -1,0 +1,98 @@
+"""Tests for the mice trial-and-error routing loop."""
+
+import random
+
+import pytest
+
+from repro.core.mice import route_mice_payment
+from repro.network.view import NetworkView
+
+
+def run_mice(graph, paths, amount, seed=0, shuffle=True):
+    view = NetworkView(graph)
+    with view.open_session() as session:
+        result = route_mice_payment(
+            session, paths, amount, random.Random(seed), shuffle=shuffle
+        )
+        if result.success:
+            session.commit()
+        else:
+            session.abort()
+    return result, view
+
+
+class TestHappyPath:
+    def test_full_amount_first_try_no_probe(self, diamond_graph):
+        result, view = run_mice(diamond_graph, [[0, 1, 3], [0, 2, 3]], 30.0)
+        assert result.success
+        assert view.counters.probe_messages == 0
+        assert len(result.transfers) == 1
+
+    def test_funds_moved_on_success(self, diamond_graph):
+        run_mice(diamond_graph, [[0, 1, 3]], 30.0)
+        assert diamond_graph.balance(3, 1) == pytest.approx(80.0)
+
+
+class TestPartialPayments:
+    def test_splits_across_paths_when_needed(self, diamond_graph):
+        # 80 exceeds any single 50-capacity path; needs both.
+        result, view = run_mice(diamond_graph, [[0, 1, 3], [0, 2, 3]], 80.0)
+        assert result.success
+        assert len(result.transfers) == 2
+        # Exactly one probe: the first full attempt bounced.
+        assert view.counters.probe_operations == 1
+
+    def test_probe_only_on_failure(self, diamond_graph):
+        _, view = run_mice(diamond_graph, [[0, 1, 3], [0, 2, 3]], 120.0)
+        # Both paths attempted in full, both probed.
+        assert view.counters.probe_operations >= 1
+
+
+class TestFailure:
+    def test_fails_when_demand_exceeds_all_paths(self, diamond_graph):
+        result, _ = run_mice(diamond_graph, [[0, 1, 3], [0, 2, 3]], 120.0)
+        assert not result.success
+
+    def test_failure_is_atomic(self, diamond_graph):
+        before = {
+            (u, v): diamond_graph.balance(u, v)
+            for u, v in [(0, 1), (0, 2), (1, 3), (2, 3)]
+        }
+        run_mice(diamond_graph, [[0, 1, 3], [0, 2, 3]], 120.0)
+        after = {
+            (u, v): diamond_graph.balance(u, v)
+            for u, v in [(0, 1), (0, 2), (1, 3), (2, 3)]
+        }
+        assert before == after
+
+    def test_dead_path_reported(self, diamond_graph):
+        diamond_graph.channel(0, 1).transfer(0, 1, 50.0)  # forward now 0
+        result, _ = run_mice(diamond_graph, [[0, 1, 3], [0, 2, 3]], 40.0)
+        assert result.success
+        assert [0, 1, 3] in result.dead_paths
+
+    def test_no_paths_fails(self, diamond_graph):
+        result, _ = run_mice(diamond_graph, [], 10.0)
+        assert not result.success
+
+    def test_invalid_amount_rejected(self, diamond_graph):
+        view = NetworkView(diamond_graph)
+        with view.open_session() as session:
+            with pytest.raises(ValueError):
+                route_mice_payment(session, [[0, 1, 3]], 0.0, random.Random(0))
+
+
+class TestPathOrder:
+    def test_shuffle_false_preserves_order(self, diamond_graph):
+        result, _ = run_mice(
+            diamond_graph, [[0, 2, 3], [0, 1, 3]], 30.0, shuffle=False
+        )
+        assert result.transfers[0][0] == (0, 2, 3)
+
+    def test_random_order_varies_with_seed(self, diamond_graph):
+        picks = set()
+        for seed in range(8):
+            graph = diamond_graph.copy()
+            result, _ = run_mice(graph, [[0, 1, 3], [0, 2, 3]], 30.0, seed=seed)
+            picks.add(result.transfers[0][0])
+        assert len(picks) == 2  # both paths get chosen across seeds

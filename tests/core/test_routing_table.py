@@ -1,0 +1,100 @@
+"""Tests for the mice routing table."""
+
+from repro.core.routing_table import RoutingTable
+
+
+class TestLookup:
+    def test_first_lookup_computes_m_paths(self, grid_graph):
+        table = RoutingTable(m=4)
+        entry = table.lookup(0, 8, grid_graph.adjacency())
+        assert len(entry.paths) == 4
+        assert all(p[0] == 0 and p[-1] == 8 for p in entry.paths)
+
+    def test_recurring_lookup_is_cached(self, grid_graph):
+        table = RoutingTable(m=4)
+        adjacency = grid_graph.adjacency()
+        first = table.lookup(0, 8, adjacency)
+        second = table.lookup(0, 8, adjacency)
+        assert first is second
+        assert second.hits == 1
+        assert table.hit_ratio == 0.5
+
+    def test_disconnected_receiver_empty_entry(self, grid_graph):
+        grid_graph.add_node(99)
+        table = RoutingTable(m=4)
+        entry = table.lookup(0, 99, grid_graph.adjacency())
+        assert entry.paths == []
+
+    def test_per_pair_entries(self, grid_graph):
+        table = RoutingTable(m=2)
+        adjacency = grid_graph.adjacency()
+        table.lookup(0, 8, adjacency)
+        table.lookup(8, 0, adjacency)
+        assert len(table) == 2
+
+
+class TestReplacement:
+    def test_dead_path_replaced_with_next_shortest(self, grid_graph):
+        table = RoutingTable(m=2)
+        adjacency = grid_graph.adjacency()
+        entry = table.lookup(0, 8, adjacency)
+        dead = entry.paths[0]
+        replacement = table.replace_path(0, 8, dead, adjacency)
+        assert replacement is not None
+        assert replacement not in (dead,)
+        assert dead not in entry.paths
+        assert len(entry.paths) == 2
+
+    def test_replacement_differs_from_existing(self, grid_graph):
+        table = RoutingTable(m=3)
+        adjacency = grid_graph.adjacency()
+        entry = table.lookup(0, 8, adjacency)
+        replacement = table.replace_path(0, 8, entry.paths[1], adjacency)
+        assert replacement is not None
+        assert len({tuple(p) for p in entry.paths}) == 3
+
+    def test_exhausted_topology_drops_path(self, line_graph):
+        table = RoutingTable(m=1)
+        adjacency = line_graph.adjacency()
+        entry = table.lookup(0, 3, adjacency)
+        # A line has exactly one simple path: no replacement exists.
+        assert table.replace_path(0, 3, entry.paths[0], adjacency) is None
+        assert entry.paths == []
+
+    def test_replace_unknown_pair_is_noop(self, grid_graph):
+        table = RoutingTable(m=2)
+        assert table.replace_path(0, 8, [0, 1, 8], grid_graph.adjacency()) is None
+
+
+class TestMaintenance:
+    def test_refresh_recomputes_entries(self, grid_graph):
+        table = RoutingTable(m=2)
+        adjacency = grid_graph.adjacency()
+        entry = table.lookup(0, 8, adjacency)
+        # Channel 0-1 disappears; refresh must drop paths through it.
+        grid_graph.remove_channel(0, 1)
+        table.refresh(grid_graph.adjacency())
+        assert all(path[1] == 3 for path in entry.paths)
+
+    def test_ttl_eviction(self, grid_graph):
+        table = RoutingTable(m=2, entry_ttl=100.0)
+        adjacency = grid_graph.adjacency()
+        table.lookup(0, 8, adjacency, now=0.0)
+        table.lookup(0, 5, adjacency, now=150.0)
+        assert table.evict_stale(now=200.0) == 1
+        assert (0, 8) not in table
+        assert (0, 5) in table
+
+    def test_infinite_ttl_never_evicts(self, grid_graph):
+        table = RoutingTable(m=2)
+        table.lookup(0, 8, grid_graph.adjacency(), now=0.0)
+        assert table.evict_stale(now=1e12) == 0
+
+    def test_max_entries_lru(self, grid_graph):
+        table = RoutingTable(m=1, max_entries=2)
+        adjacency = grid_graph.adjacency()
+        table.lookup(0, 8, adjacency, now=0.0)
+        table.lookup(0, 5, adjacency, now=1.0)
+        table.lookup(0, 7, adjacency, now=2.0)
+        assert len(table) == 2
+        assert (0, 8) not in table

@@ -1,0 +1,66 @@
+"""Tests for the experiment CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.topology == "ripple"
+        assert args.scale == 10.0
+
+
+class TestAnalyze:
+    def test_prints_both_figures(self, capsys):
+        code = main(["analyze", "--samples", "2000", "--days", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Ripple" in out and "recurring" in out
+
+
+class TestSimulate:
+    def test_runs_small_comparison(self, capsys):
+        code = main(["simulate", "--transactions", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Flash" in out and "Spider" in out
+        assert "succ. ratio" in out
+
+
+class TestTestbed:
+    def test_runs_small_testbed(self, capsys):
+        code = main(
+            ["testbed", "--nodes", "16", "--transactions", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "normalized delay" in out
+
+
+class TestFigure:
+    def test_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "Bitcoin" in capsys.readouterr().out
+
+    def test_fig8_small(self, capsys):
+        code = main(
+            ["figure", "fig8", "--transactions", "40", "--runs", "1"]
+        )
+        assert code == 0
+        assert "Flash savings" in capsys.readouterr().out
+
+    def test_ablation_order_small(self, capsys):
+        code = main(
+            ["figure", "ablation-order", "--transactions", "40", "--runs", "1"]
+        )
+        assert code == 0
+        assert "mice path order" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2

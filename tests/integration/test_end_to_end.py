@@ -1,0 +1,110 @@
+"""Integration tests: full pipeline runs on realistic (scaled-down)
+topologies, all schemes side by side."""
+
+import random
+
+import pytest
+
+from repro.network.topology import (
+    lightning_like_topology,
+    ripple_like_topology,
+)
+from repro.sim.engine import run_simulation
+from repro.sim.factories import (
+    flash_factory,
+    landmark_factory,
+    paper_benchmark_factories,
+    speedymurmurs_factory,
+)
+from repro.sim.runner import run_comparison
+from repro.traces.generators import (
+    generate_lightning_workload,
+    generate_ripple_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def ripple_scenario():
+    rng = random.Random(11)
+    graph = ripple_like_topology(rng, n_nodes=150, n_edges=700)
+    workload = generate_ripple_workload(rng, graph.nodes, 250)
+    return graph, workload
+
+
+@pytest.fixture(scope="module")
+def all_results(ripple_scenario):
+    graph, workload = ripple_scenario
+    return {
+        name: run_simulation(graph, factory, workload, rng=random.Random(1))
+        for name, factory in paper_benchmark_factories().items()
+    }
+
+
+class TestPipeline:
+    def test_every_scheme_processes_everything(self, all_results):
+        for result in all_results.values():
+            assert result.transactions == 250
+
+    def test_input_graph_untouched(self, ripple_scenario, all_results):
+        graph, _ = ripple_scenario
+        rng = random.Random(11)
+        reference = ripple_like_topology(rng, n_nodes=150, n_edges=700)
+        for channel, ref in zip(graph.channels(), reference.channels()):
+            assert channel.balance_ab == ref.balance_ab
+
+    def test_flash_highest_success_volume(self, all_results):
+        flash = all_results["Flash"].success_volume
+        for name, result in all_results.items():
+            if name != "Flash":
+                assert flash >= result.success_volume
+
+    def test_flash_fewer_probes_than_spider(self, all_results):
+        assert (
+            all_results["Flash"].probe_messages
+            < all_results["Spider"].probe_messages
+        )
+
+    def test_static_schemes_never_probe(self, all_results):
+        assert all_results["SpeedyMurmurs"].probe_messages == 0
+        assert all_results["Shortest Path"].probe_messages == 0
+
+    def test_success_ratios_sane(self, all_results):
+        for result in all_results.values():
+            assert 0.0 < result.success_ratio <= 1.0
+
+
+class TestLightningScenario:
+    def test_lightning_pipeline(self):
+        rng = random.Random(3)
+        graph = lightning_like_topology(rng, n_nodes=120, n_edges=600)
+        # The paper scales capacities (factor 10 in most experiments).
+        graph.scale_balances(10.0)
+        workload = generate_lightning_workload(rng, graph.nodes, 150)
+        result = run_simulation(graph, flash_factory(), workload)
+        assert result.transactions == 150
+        assert result.success_ratio > 0.3
+
+
+class TestExtensionBaselines:
+    def test_speedymurmurs_and_landmark_run(self, ripple_scenario):
+        graph, workload = ripple_scenario
+        small = workload.head(60)
+        for factory in (speedymurmurs_factory(), landmark_factory()):
+            result = run_simulation(graph, factory, small)
+            assert result.transactions == 60
+
+
+class TestComparisonHarness:
+    def test_multi_run_comparison(self):
+        def scenario(rng):
+            graph = ripple_like_topology(rng, n_nodes=80, n_edges=320)
+            workload = generate_ripple_workload(rng, graph.nodes, 60)
+            return graph, workload
+
+        comparison = run_comparison(
+            scenario,
+            {"Flash": flash_factory(k=8, m=2)},
+            runs=2,
+        )
+        assert comparison["Flash"].runs == 2
+        assert comparison["Flash"].success_ratio > 0.0

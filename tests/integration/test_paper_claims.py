@@ -1,0 +1,139 @@
+"""Qualitative paper-claim checks on scaled-down experiments.
+
+These tests assert the *shape* of the paper's headline results (who wins,
+direction of effects), not absolute numbers — the substrate is synthetic.
+Each test maps to a figure; the full-size regenerations live in
+``benchmarks/``.
+"""
+
+import random
+
+import pytest
+
+from repro.network.topology import ripple_like_topology
+from repro.sim.engine import run_simulation
+from repro.sim.factories import (
+    flash_all_elephant_factory,
+    flash_factory,
+    paper_benchmark_factories,
+)
+from repro.traces.generators import generate_ripple_workload
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    rng = random.Random(23)
+    graph = ripple_like_topology(rng, n_nodes=150, n_edges=700)
+    graph.scale_balances(10.0)
+    graph.assign_paper_fees(random.Random(5))
+    workload = generate_ripple_workload(rng, graph.nodes, 300)
+    return graph, workload
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    graph, workload = scenario
+    return {
+        name: run_simulation(graph, factory, workload, rng=random.Random(7))
+        for name, factory in paper_benchmark_factories().items()
+    }
+
+
+class TestFig6Shape:
+    """Success volume ordering: Flash > Spider, SP, SpeedyMurmurs."""
+
+    def test_flash_beats_spider_on_volume(self, results):
+        assert results["Flash"].success_volume > results["Spider"].success_volume
+
+    def test_flash_beats_static_schemes_on_volume(self, results):
+        assert (
+            results["Flash"].success_volume
+            > results["Shortest Path"].success_volume
+        )
+        assert (
+            results["Flash"].success_volume
+            > results["SpeedyMurmurs"].success_volume
+        )
+
+    def test_flash_and_spider_similar_success_ratio(self, results):
+        """Mice dominate the ratio, which both handle (§4.2)."""
+        assert abs(
+            results["Flash"].success_ratio - results["Spider"].success_ratio
+        ) < 0.25
+
+
+class TestFig8Shape:
+    """Flash probes less than Spider despite using more paths for
+    elephants (paper: 43%/37% savings)."""
+
+    def test_probe_savings(self, results):
+        flash = results["Flash"].probe_messages
+        spider = results["Spider"].probe_messages
+        assert flash < spider
+
+    def test_savings_are_substantial(self, results):
+        flash = results["Flash"].probe_messages
+        spider = results["Spider"].probe_messages
+        assert flash < 0.8 * spider
+
+
+class TestFig9Shape:
+    """Fee optimization reduces the fee-to-volume ratio."""
+
+    def test_fee_optimization_cheaper(self, scenario):
+        graph, workload = scenario
+        with_opt = run_simulation(
+            graph,
+            flash_factory(optimize_fees=True),
+            workload,
+            rng=random.Random(1),
+        )
+        without_opt = run_simulation(
+            graph,
+            flash_factory(optimize_fees=False),
+            workload,
+            rng=random.Random(1),
+        )
+        assert (
+            with_opt.fee_to_volume_percent
+            <= without_opt.fee_to_volume_percent + 1e-9
+        )
+
+
+class TestFig10Shape:
+    """Routing most payments as mice barely hurts volume but slashes
+    probing."""
+
+    def test_mice_routing_cheap_but_effective(self, scenario):
+        graph, workload = scenario
+        mostly_mice = run_simulation(
+            graph, flash_factory(mice_fraction=0.9), workload, rng=random.Random(2)
+        )
+        all_elephants = run_simulation(
+            graph, flash_all_elephant_factory(), workload, rng=random.Random(2)
+        )
+        assert mostly_mice.probe_messages < all_elephants.probe_messages
+        # Volume within a reasonable factor of the all-elephant upper bound.
+        assert (
+            mostly_mice.success_volume
+            > 0.5 * all_elephants.success_volume
+        )
+
+
+class TestFig11Shape:
+    """A few paths per receiver approach elephant-grade delivery for mice,
+    at a fraction of the probing cost (paper: ~12x less)."""
+
+    def test_probing_grows_with_m_zero(self, scenario):
+        graph, workload = scenario
+        m4 = run_simulation(
+            graph, flash_factory(m=4), workload, rng=random.Random(3)
+        )
+        as_elephants = run_simulation(
+            graph, flash_all_elephant_factory(), workload, rng=random.Random(3)
+        )
+        # Fig 11b compares the probing overhead of *mice-class* payments.
+        assert (
+            m4.mice_probe_messages
+            < as_elephants.mice_probe_messages / 3
+        )

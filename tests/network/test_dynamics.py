@@ -1,0 +1,159 @@
+"""Tests for topology dynamics: churn, gossip, dynamic simulation."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.dynamics import (
+    ChannelEvent,
+    ChannelEventType,
+    ChurnModel,
+    GossipSchedule,
+    run_dynamic_simulation,
+)
+from repro.network.topology import grid_topology, ripple_like_topology
+from repro.sim.factories import flash_factory
+from repro.traces.generators import generate_ripple_workload
+
+
+def open_event(time, a, b, funds=100.0):
+    return ChannelEvent(
+        time=time,
+        kind=ChannelEventType.OPEN,
+        a=a,
+        b=b,
+        balance_a=funds,
+        balance_b=funds,
+    )
+
+
+def close_event(time, a, b):
+    return ChannelEvent(time=time, kind=ChannelEventType.CLOSE, a=a, b=b)
+
+
+class TestChurnModel:
+    def test_events_ordered_and_bounded(self, grid_graph):
+        model = ChurnModel(
+            grid_graph, random.Random(0), opens_per_hour=30, closes_per_hour=30
+        )
+        events = model.generate(3_600.0)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 3_600.0 for t in times)
+        assert len(events) > 10  # ~60 expected
+
+    def test_zero_rates_no_events(self, grid_graph):
+        model = ChurnModel(
+            grid_graph, random.Random(0), opens_per_hour=0, closes_per_hour=0
+        )
+        assert model.generate(3_600.0) == []
+
+    def test_negative_rate_rejected(self, grid_graph):
+        with pytest.raises(TopologyError):
+            ChurnModel(grid_graph, random.Random(0), opens_per_hour=-1)
+
+
+class _RecordingRouter:
+    def __init__(self):
+        self.updates = 0
+
+    def on_topology_update(self):
+        self.updates += 1
+
+
+class TestGossipSchedule:
+    def test_open_applies(self, grid_graph):
+        schedule = GossipSchedule(
+            graph=grid_graph, events=[open_event(10.0, 0, 8)]
+        )
+        schedule.advance_to(20.0)
+        assert grid_graph.has_channel(0, 8)
+
+    def test_close_applies(self, grid_graph):
+        schedule = GossipSchedule(
+            graph=grid_graph, events=[close_event(10.0, 0, 1)]
+        )
+        schedule.advance_to(20.0)
+        assert not grid_graph.has_channel(0, 1)
+
+    def test_future_events_not_applied(self, grid_graph):
+        schedule = GossipSchedule(
+            graph=grid_graph, events=[close_event(100.0, 0, 1)]
+        )
+        schedule.advance_to(50.0)
+        assert grid_graph.has_channel(0, 1)
+
+    def test_duplicate_open_ignored(self, grid_graph):
+        schedule = GossipSchedule(
+            graph=grid_graph, events=[open_event(1.0, 0, 1)]
+        )
+        assert schedule.advance_to(5.0) == 0
+
+    def test_close_of_missing_channel_ignored(self, grid_graph):
+        schedule = GossipSchedule(
+            graph=grid_graph, events=[close_event(1.0, 0, 8)]
+        )
+        assert schedule.advance_to(5.0) == 0
+
+    def test_gossip_batched_by_period(self, grid_graph):
+        router = _RecordingRouter()
+        schedule = GossipSchedule(
+            graph=grid_graph,
+            events=[close_event(10.0, 0, 1), close_event(20.0, 1, 2)],
+            gossip_period=600.0,
+        )
+        schedule.register(router)
+        schedule.advance_to(30.0)  # both events applied, period not elapsed
+        assert router.updates <= 1
+        schedule.advance_to(700.0)
+        schedule.flush(700.0)
+        assert router.updates >= 1
+
+    def test_flush_without_pending_is_noop(self, grid_graph):
+        router = _RecordingRouter()
+        schedule = GossipSchedule(graph=grid_graph, events=[])
+        schedule.register(router)
+        schedule.flush(1_000.0)
+        assert router.updates == 0
+
+
+class TestDynamicSimulation:
+    def test_runs_with_churn(self):
+        rng = random.Random(5)
+        graph = ripple_like_topology(rng, n_nodes=80, n_edges=400)
+        graph.scale_balances(10.0)
+        workload = generate_ripple_workload(rng, graph.nodes, 80)
+        churn = ChurnModel(
+            graph, random.Random(1), opens_per_hour=120, closes_per_hour=120
+        )
+        events = churn.generate(workload[-1].time)
+        result = run_dynamic_simulation(
+            graph,
+            flash_factory(k=5, m=2),
+            workload,
+            events,
+            rng=random.Random(2),
+            gossip_period=300.0,
+        )
+        assert result.transactions == 80
+        assert result.success_ratio > 0.3
+
+    def test_input_graph_untouched(self):
+        rng = random.Random(5)
+        graph = grid_topology(4, 4, balance=100.0)
+        workload = generate_ripple_workload(rng, graph.nodes, 20)
+        events = [close_event(0.0, 0, 1)]
+        run_dynamic_simulation(
+            graph, flash_factory(k=3, m=2), workload, events, rng=random.Random(0)
+        )
+        assert graph.has_channel(0, 1)
+
+    def test_probe_of_closed_channel_reads_dead(self, grid_graph):
+        from repro.network.view import NetworkView
+
+        view = NetworkView(grid_graph)
+        grid_graph.remove_channel(1, 2)
+        probe = view.probe_path([0, 1, 2])
+        assert probe.balances == (100.0, 0.0)
+        assert probe.bottleneck == 0.0

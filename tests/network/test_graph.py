@@ -1,0 +1,176 @@
+"""Unit tests for the channel graph substrate."""
+
+import pytest
+
+from repro.errors import ChannelError, InsufficientBalanceError, NoChannelError
+from repro.network.fees import LinearFee
+from repro.network.graph import ChannelGraph, Transfer
+
+
+class TestTopologyOperations:
+    def test_add_channel_creates_nodes(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 10.0, 10.0)
+        assert graph.has_node("a") and graph.has_node("b")
+        assert graph.num_channels() == 1
+
+    def test_duplicate_channel_rejected(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 10.0, 10.0)
+        with pytest.raises(ChannelError):
+            graph.add_channel("b", "a", 5.0, 5.0)
+
+    def test_remove_channel(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 10.0, 10.0)
+        graph.remove_channel("a", "b")
+        assert not graph.has_channel("a", "b")
+        assert graph.has_node("a")
+
+    def test_remove_missing_channel_rejected(self):
+        with pytest.raises(NoChannelError):
+            ChannelGraph().remove_channel("a", "b")
+
+    def test_neighbors(self, grid_graph):
+        assert sorted(grid_graph.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_degree(self, grid_graph):
+        assert grid_graph.degree(0) == 2
+        assert grid_graph.degree(4) == 4
+
+    def test_channels_iterates_each_once(self, grid_graph):
+        assert len(list(grid_graph.channels())) == grid_graph.num_channels() == 12
+
+    def test_adjacency_symmetric(self, grid_graph):
+        adjacency = grid_graph.adjacency()
+        for node, nbrs in adjacency.items():
+            for nbr in nbrs:
+                assert node in adjacency[nbr]
+
+
+class TestBalancesAndFees:
+    def test_balance_directional(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 30.0, 10.0)
+        assert graph.balance("a", "b") == 30.0
+        assert graph.balance("b", "a") == 10.0
+
+    def test_network_funds(self, line_graph):
+        assert line_graph.network_funds() == pytest.approx(3 * 200.0)
+
+    def test_path_fee(self):
+        graph = ChannelGraph()
+        fee = LinearFee(base=1.0, rate=0.01)
+        graph.add_channel("a", "b", 10.0, 10.0, fee_ab=fee, fee_ba=fee)
+        graph.add_channel("b", "c", 10.0, 10.0, fee_ab=fee, fee_ba=fee)
+        assert graph.path_fee(["a", "b", "c"], 100.0) == pytest.approx(2 * 2.0)
+
+    def test_path_bottleneck(self, line_graph):
+        line_graph.channel(1, 2).transfer(1, 2, 60.0)
+        assert line_graph.path_bottleneck([0, 1, 2, 3]) == pytest.approx(40.0)
+
+    def test_scale_balances(self, line_graph):
+        line_graph.scale_balances(10.0)
+        assert line_graph.balance(0, 1) == 1000.0
+
+    def test_scale_balances_rejects_nonpositive(self, line_graph):
+        with pytest.raises(ChannelError):
+            line_graph.scale_balances(0.0)
+
+
+class TestExecute:
+    def test_single_path(self, line_graph):
+        line_graph.execute_single([0, 1, 2, 3], 25.0)
+        assert line_graph.balance(0, 1) == 75.0
+        assert line_graph.balance(1, 0) == 125.0
+        assert line_graph.balance(2, 3) == 75.0
+
+    def test_atomic_failure_leaves_no_trace(self, line_graph):
+        line_graph.channel(2, 3).transfer(2, 3, 95.0)  # leaves only 5
+        before = {
+            (u, v): line_graph.balance(u, v)
+            for u, v in [(0, 1), (1, 2), (2, 3)]
+        }
+        with pytest.raises(InsufficientBalanceError):
+            line_graph.execute_single([0, 1, 2, 3], 25.0)
+        after = {
+            (u, v): line_graph.balance(u, v)
+            for u, v in [(0, 1), (1, 2), (2, 3)]
+        }
+        assert before == after
+
+    def test_multipath(self, diamond_graph):
+        diamond_graph.execute(
+            [Transfer((0, 1, 3), 40.0), Transfer((0, 2, 3), 40.0)]
+        )
+        assert diamond_graph.balance(0, 1) == 10.0
+        assert diamond_graph.balance(0, 2) == 10.0
+        assert diamond_graph.balance(3, 1) == 90.0
+
+    def test_multipath_shared_channel_jointly_checked(self, line_graph):
+        # Two transfers of 60 share channel 0-1 with capacity 100.
+        with pytest.raises(InsufficientBalanceError):
+            line_graph.execute(
+                [Transfer((0, 1, 2), 60.0), Transfer((0, 1, 2, 3), 60.0)]
+            )
+
+    def test_opposite_directions_offset(self, line_graph):
+        # 80 forward and 30 backward on channel 1-2 nets to 50 <= 100.
+        line_graph.execute(
+            [Transfer((0, 1, 2), 80.0), Transfer((2, 1), 30.0)]
+        )
+        assert line_graph.balance(1, 2) == 50.0
+        assert line_graph.balance(2, 1) == 150.0
+
+    def test_offset_allows_over_capacity_gross(self, line_graph):
+        # Gross forward flow 120 exceeds the 100 balance, but the batch
+        # nets to 120 - 60 = 60, which fits (program (1)'s constraint).
+        line_graph.execute(
+            [Transfer((1, 2), 120.0), Transfer((2, 1), 60.0)]
+        )
+        assert line_graph.balance(1, 2) == 40.0
+
+    def test_missing_channel_rejected(self, line_graph):
+        with pytest.raises(NoChannelError):
+            line_graph.execute_single([0, 2], 1.0)
+
+    def test_conservation_under_execution(self, diamond_graph):
+        funds = diamond_graph.network_funds()
+        diamond_graph.execute(
+            [Transfer((0, 1, 3), 30.0), Transfer((0, 2, 3), 20.0)]
+        )
+        assert diamond_graph.network_funds() == pytest.approx(funds)
+
+
+class TestCopyAndInterop:
+    def test_copy_is_deep(self, line_graph):
+        clone = line_graph.copy()
+        clone.execute_single([0, 1], 50.0)
+        assert line_graph.balance(0, 1) == 100.0
+        assert clone.balance(0, 1) == 50.0
+
+    def test_copy_preserves_fees(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 1.0, 1.0, fee_ab=LinearFee(rate=0.05))
+        clone = graph.copy()
+        assert clone.fee_policy("a", "b").fee(100.0) == pytest.approx(5.0)
+
+    def test_networkx_round_trip(self, diamond_graph):
+        nx_graph = diamond_graph.to_networkx()
+        back = ChannelGraph.from_networkx(nx_graph)
+        assert back.num_nodes() == diamond_graph.num_nodes()
+        assert back.num_channels() == diamond_graph.num_channels()
+        for channel in diamond_graph.channels():
+            a, b = channel.endpoints()
+            assert back.balance(a, b) == pytest.approx(channel.balance(a, b))
+
+    def test_from_undirected_networkx(self):
+        import networkx as nx
+
+        wheel = nx.wheel_graph(5)
+        graph = ChannelGraph.from_networkx(wheel)
+        assert graph.num_channels() == wheel.number_of_edges()
+
+    def test_from_edges(self):
+        graph = ChannelGraph.from_edges([("a", "b", 1.0, 2.0), ("b", "c", 3.0, 4.0)])
+        assert graph.balance("b", "c") == 3.0

@@ -1,0 +1,126 @@
+"""Unit tests for BFS / Yen / edge-disjoint path algorithms."""
+
+import pytest
+
+from repro.network.paths import (
+    bfs_distances,
+    bfs_shortest_path,
+    bfs_tree_parents,
+    edge_disjoint_shortest_paths,
+    is_simple_path,
+    path_edges,
+    yen_k_shortest_paths,
+)
+
+
+@pytest.fixture
+def grid_adj(grid_graph):
+    return grid_graph.adjacency()
+
+
+class TestBfs:
+    def test_trivial_path(self, grid_adj):
+        assert bfs_shortest_path(grid_adj, 0, 0) == [0]
+
+    def test_shortest_length(self, grid_adj):
+        path = bfs_shortest_path(grid_adj, 0, 8)
+        assert path is not None
+        assert len(path) == 5  # 4 hops across a 3x3 grid
+        assert path[0] == 0 and path[-1] == 8
+
+    def test_consecutive_hops_adjacent(self, grid_adj):
+        path = bfs_shortest_path(grid_adj, 0, 8)
+        for u, v in path_edges(path):
+            assert v in grid_adj[u]
+
+    def test_unreachable(self):
+        adj = {0: [1], 1: [0], 2: []}
+        assert bfs_shortest_path(adj, 0, 2) is None
+
+    def test_unknown_node(self, grid_adj):
+        assert bfs_shortest_path(grid_adj, 0, 99) is None
+
+    def test_edge_predicate_respected(self, grid_adj):
+        # Forbid everything out of node 1 and node 3: 0 is isolated.
+        def edge_ok(u, v):
+            return u not in (0,) or v not in (1, 3)
+
+        assert bfs_shortest_path(grid_adj, 0, 8, edge_ok=edge_ok) is None
+
+    def test_blocked_nodes(self, grid_adj):
+        path = bfs_shortest_path(grid_adj, 0, 2, blocked_nodes={1})
+        assert path is not None
+        assert 1 not in path
+
+    def test_distances(self, grid_adj):
+        dist = bfs_distances(grid_adj, 0)
+        assert dist[0] == 0
+        assert dist[4] == 2
+        assert dist[8] == 4
+
+    def test_tree_parents_cover_component(self, grid_adj):
+        parents = bfs_tree_parents(grid_adj, 4)
+        assert set(parents) == set(grid_adj)
+        assert parents[4] == 4
+
+
+class TestYen:
+    def test_first_path_is_shortest(self, grid_adj):
+        paths = yen_k_shortest_paths(grid_adj, 0, 8, 3)
+        assert len(paths[0]) == 5
+
+    def test_paths_unique_and_simple(self, grid_adj):
+        paths = yen_k_shortest_paths(grid_adj, 0, 8, 6)
+        assert len({tuple(p) for p in paths}) == len(paths)
+        assert all(is_simple_path(p) for p in paths)
+
+    def test_nondecreasing_lengths(self, grid_adj):
+        paths = yen_k_shortest_paths(grid_adj, 0, 8, 6)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_k_zero(self, grid_adj):
+        assert yen_k_shortest_paths(grid_adj, 0, 8, 0) == []
+
+    def test_no_path(self):
+        adj = {0: [], 1: []}
+        assert yen_k_shortest_paths(adj, 0, 1, 3) == []
+
+    def test_exhausts_small_graph(self):
+        # A triangle has exactly 2 simple paths between any pair.
+        adj = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+        paths = yen_k_shortest_paths(adj, 0, 2, 10)
+        assert len(paths) == 2
+
+    def test_grid_six_shortest_exist(self, grid_adj):
+        # A 3x3 grid has 6 monotone 4-hop paths from corner to corner.
+        paths = yen_k_shortest_paths(grid_adj, 0, 8, 6)
+        assert len(paths) == 6
+        assert all(len(p) == 5 for p in paths)
+
+    def test_deterministic(self, grid_adj):
+        first = yen_k_shortest_paths(grid_adj, 0, 8, 5)
+        second = yen_k_shortest_paths(grid_adj, 0, 8, 5)
+        assert first == second
+
+
+class TestEdgeDisjoint:
+    def test_disjointness(self, grid_adj):
+        paths = edge_disjoint_shortest_paths(grid_adj, 0, 8, 3)
+        used = set()
+        for path in paths:
+            for edge in path_edges(path):
+                assert edge not in used
+                used.add(edge)
+
+    def test_grid_corner_has_two(self, grid_adj):
+        # Corner degree is 2, so at most 2 edge-disjoint paths exist.
+        paths = edge_disjoint_shortest_paths(grid_adj, 0, 8, 4)
+        assert len(paths) == 2
+
+    def test_zero_k(self, grid_adj):
+        assert edge_disjoint_shortest_paths(grid_adj, 0, 8, 0) == []
+
+    def test_first_is_shortest(self, grid_adj):
+        paths = edge_disjoint_shortest_paths(grid_adj, 0, 8, 2)
+        assert len(paths[0]) == 5

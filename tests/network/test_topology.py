@@ -1,0 +1,144 @@
+"""Unit tests for topology generators."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import (
+    barabasi_albert_edges,
+    build_channel_graph,
+    grid_topology,
+    largest_component_nodes,
+    lightning_like_topology,
+    line_topology,
+    lognormal_sampler,
+    ripple_like_topology,
+    testbed_topology as make_testbed_topology,
+    uniform_sampler,
+    watts_strogatz_edges,
+)
+
+
+class TestSamplers:
+    def test_lognormal_median(self):
+        rng = random.Random(0)
+        sampler = lognormal_sampler(250.0, 1.0)
+        samples = sorted(sampler(rng) for _ in range(4_000))
+        median = samples[len(samples) // 2]
+        assert 200.0 < median < 310.0
+
+    def test_lognormal_rejects_bad_median(self):
+        with pytest.raises(TopologyError):
+            lognormal_sampler(0.0, 1.0)
+
+    def test_uniform_range(self):
+        rng = random.Random(0)
+        sampler = uniform_sampler(1_000.0, 1_500.0)
+        for _ in range(100):
+            assert 1_000.0 <= sampler(rng) < 1_500.0
+
+    def test_uniform_rejects_bad_interval(self):
+        with pytest.raises(TopologyError):
+            uniform_sampler(10.0, 5.0)
+
+
+class TestWattsStrogatz:
+    def test_edge_count_preserved(self):
+        edges = watts_strogatz_edges(50, 6, 0.3, random.Random(0))
+        assert len(edges) == 50 * 3
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = watts_strogatz_edges(40, 4, 0.5, random.Random(1))
+        normalized = {(min(u, v), max(u, v)) for u, v in edges}
+        assert len(normalized) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_beta_zero_is_ring_lattice(self):
+        edges = watts_strogatz_edges(10, 2, 0.0, random.Random(0))
+        expected = {(u, (u + 1) % 10) for u in range(10)}
+        normalized = {(min(u, v), max(u, v)) for u, v in edges}
+        assert normalized == {(min(u, v), max(u, v)) for u, v in expected}
+
+    def test_parameter_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(TopologyError):
+            watts_strogatz_edges(10, 3, 0.1, rng)  # odd k
+        with pytest.raises(TopologyError):
+            watts_strogatz_edges(10, 12, 0.1, rng)  # k >= n
+        with pytest.raises(TopologyError):
+            watts_strogatz_edges(10, 4, 1.5, rng)  # bad beta
+
+
+class TestBarabasiAlbert:
+    def test_connected(self):
+        edges = barabasi_albert_edges(100, 3, random.Random(0))
+        graph = build_channel_graph(edges, uniform_sampler(1, 2), random.Random(0))
+        assert len(largest_component_nodes(graph)) == 100
+
+    def test_edge_count(self):
+        edges = barabasi_albert_edges(100, 3, random.Random(0))
+        assert len(edges) == 3 + (100 - 4) * 3
+
+    def test_degree_skew(self):
+        edges = barabasi_albert_edges(300, 2, random.Random(2))
+        degree: dict[int, int] = {}
+        for u, v in edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert max(degree.values()) > 8 * (sum(degree.values()) / len(degree)) / 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert_edges(3, 3, random.Random(0))
+
+
+class TestPcnTopologies:
+    def test_ripple_like_counts(self):
+        graph = ripple_like_topology(random.Random(0), n_nodes=200, n_edges=1_000)
+        assert graph.num_nodes() == 200
+        assert 900 <= graph.num_channels() <= 1_000
+
+    def test_ripple_like_balanced_directions(self):
+        graph = ripple_like_topology(random.Random(0), n_nodes=50, n_edges=150)
+        for channel in graph.channels():
+            assert channel.balance_ab == pytest.approx(channel.balance_ba)
+
+    def test_lightning_like_skewed_directions(self):
+        graph = lightning_like_topology(random.Random(0), n_nodes=50, n_edges=200)
+        asymmetric = sum(
+            1
+            for channel in graph.channels()
+            if abs(channel.balance_ab - channel.balance_ba)
+            > 0.2 * channel.total_capacity()
+        )
+        assert asymmetric > graph.num_channels() / 3
+
+    def test_testbed_capacity_interval(self):
+        graph = make_testbed_topology(
+            random.Random(0), n_nodes=30, capacity_low=1_000, capacity_high=1_500
+        )
+        for channel in graph.channels():
+            assert 1_000 <= channel.total_capacity() < 1_500
+
+    def test_paper_scale_defaults(self):
+        graph = ripple_like_topology(random.Random(0))
+        assert graph.num_nodes() == 1_870
+        assert graph.num_channels() > 16_000
+
+
+class TestSimpleTopologies:
+    def test_line(self):
+        graph = line_topology(5, balance=10.0)
+        assert graph.num_channels() == 4
+        assert graph.balance(2, 3) == 10.0
+
+    def test_grid(self):
+        graph = grid_topology(2, 3)
+        assert graph.num_nodes() == 6
+        assert graph.num_channels() == 7
+
+    def test_largest_component(self):
+        graph = line_topology(3)
+        graph.add_channel(10, 11, 1.0, 1.0)
+        assert largest_component_nodes(graph) == {0, 1, 2}

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The library-wide invariants the paper's correctness rests on:
+
+* channel total capacity is conserved by any sequence of operations;
+* multi-path execution is atomic (all-or-nothing);
+* waterfilling meets demand exactly, never overdraws, and equalizes
+  residuals;
+* Yen's paths are simple, unique, sorted by length;
+* routers never create or destroy funds, whatever the workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.spider import waterfill
+from repro.core.classifier import StreamingQuantileClassifier
+from repro.errors import InsufficientBalanceError
+from repro.network.channel import Channel
+from repro.network.graph import ChannelGraph, Transfer
+from repro.network.paths import is_simple_path, yen_k_shortest_paths
+from repro.network.topology import (
+    build_channel_graph,
+    uniform_sampler,
+    watts_strogatz_edges,
+)
+from repro.sim.engine import run_simulation
+from repro.sim.factories import flash_factory
+from repro.traces.generators import generate_ripple_workload
+
+amounts = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestChannelConservation:
+    @given(
+        deposits=st.tuples(
+            st.floats(min_value=1.0, max_value=1_000.0),
+            st.floats(min_value=1.0, max_value=1_000.0),
+        ),
+        operations=st.lists(
+            st.tuples(st.booleans(), amounts), min_size=0, max_size=30
+        ),
+    )
+    def test_total_capacity_invariant(self, deposits, operations):
+        channel = Channel("a", "b", *deposits)
+        total = channel.total_capacity()
+        for a_to_b, amount in operations:
+            src, dst = ("a", "b") if a_to_b else ("b", "a")
+            try:
+                channel.transfer(src, dst, amount)
+            except InsufficientBalanceError:
+                pass
+            assert channel.total_capacity() == pytest_approx(total)
+
+    @given(
+        hold_amount=st.floats(min_value=0.0, max_value=50.0),
+        settle=st.booleans(),
+    )
+    def test_hold_lifecycle_conserves(self, hold_amount, settle):
+        channel = Channel("a", "b", 50.0, 50.0)
+        channel.hold("a", "b", hold_amount)
+        if settle:
+            channel.settle_hold("a", "b", hold_amount)
+        else:
+            channel.release_hold("a", "b", hold_amount)
+        assert channel.total_capacity() == pytest_approx(100.0)
+        assert channel.held("a", "b") == pytest_approx(0.0)
+
+
+def pytest_approx(value, eps=1e-6):
+    import pytest
+
+    return pytest.approx(value, abs=eps)
+
+
+def small_random_graph(seed: int) -> ChannelGraph:
+    rng = random.Random(seed)
+    edges = watts_strogatz_edges(12, 4, 0.2, rng)
+    return build_channel_graph(edges, uniform_sampler(50.0, 150.0), rng)
+
+
+class TestExecuteAtomicity:
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        amount=st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_execute_all_or_nothing(self, seed, amount):
+        graph = small_random_graph(seed)
+        rng = random.Random(seed + 1)
+        funds = graph.network_funds()
+        balances = {
+            (c.a, c.b): (c.balance_ab, c.balance_ba) for c in graph.channels()
+        }
+        nodes = graph.nodes
+        paths = []
+        for _ in range(2):
+            a, b = rng.sample(nodes, 2)
+            from repro.network.paths import bfs_shortest_path
+
+            path = bfs_shortest_path(graph.adjacency(), a, b)
+            if path and len(path) >= 2:
+                paths.append(Transfer(tuple(path), amount))
+        try:
+            graph.execute(paths)
+        except InsufficientBalanceError:
+            after = {
+                (c.a, c.b): (c.balance_ab, c.balance_ba)
+                for c in graph.channels()
+            }
+            assert after == balances  # untouched on failure
+        assert graph.network_funds() == pytest_approx(funds)
+
+
+class TestWaterfillProperties:
+    caps = st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8
+    )
+
+    @given(capacities=caps, demand=st.floats(min_value=0.0, max_value=500.0))
+    def test_waterfill_feasible_or_none(self, capacities, demand):
+        allocations = waterfill(capacities, demand)
+        if sum(capacities) + 1e-9 < demand:
+            assert allocations is None
+            return
+        assert allocations is not None
+        assert sum(allocations) == pytest_approx(demand, eps=1e-5)
+        for allocation, capacity in zip(allocations, capacities):
+            assert allocation <= capacity + 1e-6
+            assert allocation >= -1e-9
+
+    @given(capacities=caps)
+    def test_waterfill_equalizes_used_paths(self, capacities):
+        demand = sum(capacities) / 2.0
+        allocations = waterfill(capacities, demand)
+        if allocations is None or demand <= 0:
+            return
+        residuals = [
+            c - a for c, a in zip(capacities, allocations) if a > 1e-9
+        ]
+        if len(residuals) > 1:
+            assert max(residuals) - min(residuals) < 1e-5
+
+
+class TestYenProperties:
+    @given(seed=st.integers(min_value=0, max_value=30), k=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_yen_paths_simple_unique_sorted(self, seed, k):
+        graph = small_random_graph(seed)
+        rng = random.Random(seed)
+        a, b = rng.sample(graph.nodes, 2)
+        paths = yen_k_shortest_paths(graph.adjacency(), a, b, k)
+        assert len(paths) <= k
+        assert len({tuple(p) for p in paths}) == len(paths)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        for path in paths:
+            assert is_simple_path(path)
+            assert path[0] == a and path[-1] == b
+
+
+class TestStreamingClassifier:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1e6), min_size=30, max_size=200
+        )
+    )
+    def test_threshold_within_observed_range(self, values):
+        classifier = StreamingQuantileClassifier(min_observations=30)
+        for value in values:
+            classifier.observe(value)
+        assert min(values) <= classifier.threshold <= max(values)
+
+
+class TestRouterConservation:
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_flash_never_mints_funds(self, seed):
+        graph = small_random_graph(seed)
+        rng = random.Random(seed)
+        workload = generate_ripple_workload(rng, graph.nodes, 30)
+        working = graph.copy()
+        funds = working.network_funds()
+        run_simulation(
+            working, flash_factory(k=5, m=2), workload, copy_graph=False
+        )
+        assert working.network_funds() == pytest_approx(funds, eps=1e-5)

@@ -1,0 +1,57 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.protocol.events import EventQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2.0, lambda: seen.append("late"))
+        queue.schedule(1.0, lambda: seen.append("early"))
+        queue.run_until_idle()
+        assert seen == ["early", "late"]
+
+    def test_fifo_for_simultaneous_events(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.0, lambda: seen.append("first"))
+        queue.schedule(1.0, lambda: seen.append("second"))
+        queue.run_until_idle()
+        assert seen == ["first", "second"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run_until_idle()
+        assert queue.now == 5.0
+
+    def test_cascading_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def first():
+            seen.append("a")
+            queue.schedule(1.0, lambda: seen.append("b"))
+
+        queue.schedule(1.0, first)
+        count = queue.run_until_idle()
+        assert seen == ["a", "b"]
+        assert count == 2
+        assert queue.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_event_budget_detects_livelock(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(1.0, forever)
+
+        queue.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            queue.run_until_idle(max_events=50)

@@ -1,0 +1,128 @@
+"""Failure injection: the protocol under message loss.
+
+The paper's prototype runs over TCP (reliable); this suite checks that
+the reproduction's retransmission layer preserves the protocol's safety
+properties — idempotent escrow, atomic outcomes, funds conservation —
+when the fabric drops messages.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.network.topology import grid_topology, line_topology
+from repro.protocol.driver import PaymentDriver
+from repro.protocol.network import ProtocolNetwork
+from repro.protocol.strategies import FlashStrategy, SpiderStrategy
+from repro.traces.workload import Transaction
+
+
+def lossy_network(graph, loss_rate, seed=0):
+    return ProtocolNetwork(
+        graph, loss_rate=loss_rate, loss_rng=random.Random(seed)
+    )
+
+
+class TestLossPlumbing:
+    def test_loss_rate_validation(self):
+        with pytest.raises(ProtocolError):
+            ProtocolNetwork(line_topology(3), loss_rate=1.0)
+
+    def test_drops_are_counted(self):
+        net = lossy_network(line_topology(4, 100.0), loss_rate=0.3, seed=1)
+        driver = PaymentDriver(net, sender=0, txid=1)
+        driver.probe([0, 1, 2, 3])
+        assert net.stats.dropped + net.stats.delivered > 0
+
+    def test_zero_loss_never_retransmits(self):
+        net = ProtocolNetwork(line_topology(4, 100.0))
+        driver = PaymentDriver(net, sender=0, txid=1)
+        driver.probe([0, 1, 2, 3])
+        sub, ok = driver.commit_one([0, 1, 2, 3], 10.0)
+        driver.confirm([sub])
+        assert driver.retransmissions == 0
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_probe_survives_loss(self, seed):
+        net = lossy_network(line_topology(4, 100.0), loss_rate=0.25, seed=seed)
+        driver = PaymentDriver(net, sender=0, txid=1)
+        forward, reverse = driver.probe([0, 1, 2, 3])
+        assert forward == [100.0, 100.0, 100.0]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_commit_confirm_exactly_once(self, seed):
+        """Retransmitted COMMITs must not double-escrow or double-settle."""
+        graph = line_topology(4, 100.0)
+        net = lossy_network(graph, loss_rate=0.25, seed=seed)
+        driver = PaymentDriver(net, sender=0, txid=1)
+        sub, ok = driver.commit_one([0, 1, 2, 3], 30.0)
+        assert ok
+        assert net.total_escrow() == pytest.approx(3 * 30.0)
+        driver.confirm([sub])
+        assert net.total_escrow() == 0.0
+        assert graph.balance(0, 1) == pytest.approx(70.0)
+        assert graph.balance(3, 2) == pytest.approx(130.0)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_reverse_exactly_once(self, seed):
+        graph = line_topology(4, 100.0)
+        net = lossy_network(graph, loss_rate=0.25, seed=seed)
+        driver = PaymentDriver(net, sender=0, txid=1)
+        sub, ok = driver.commit_one([0, 1, 2, 3], 30.0)
+        driver.reverse([sub])
+        assert net.total_escrow() == 0.0
+        assert graph.balance(0, 1) == pytest.approx(100.0)
+
+    def test_gives_up_after_max_retries(self):
+        net = lossy_network(line_topology(3, 100.0), loss_rate=0.95, seed=9)
+        driver = PaymentDriver(net, sender=0, txid=1, max_retries=2)
+        with pytest.raises(ProtocolError):
+            driver.probe([0, 1, 2])
+
+
+class TestEndToEndUnderLoss:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_flash_strategy_conserves_funds_under_loss(self, seed):
+        graph = grid_topology(3, 3, balance=100.0)
+        net = lossy_network(graph, loss_rate=0.10, seed=seed)
+        strategy = FlashStrategy(net, random.Random(seed), threshold=80.0)
+        funds = graph.network_funds()
+        for i, amount in enumerate([10.0, 120.0, 30.0, 250.0, 60.0]):
+            strategy.execute(
+                Transaction(txid=i, sender=0, receiver=8, amount=amount),
+                is_mouse=amount < 80.0,
+            )
+        assert graph.network_funds() == pytest.approx(funds)
+        assert net.total_escrow() == 0.0
+
+    def test_spider_strategy_runs_under_loss(self):
+        graph = grid_topology(3, 3, balance=100.0)
+        net = lossy_network(graph, loss_rate=0.10, seed=4)
+        strategy = SpiderStrategy(net, random.Random(0))
+        outcome = strategy.execute(
+            Transaction(txid=0, sender=0, receiver=8, amount=50.0),
+            is_mouse=True,
+        )
+        assert outcome.success
+        assert net.total_escrow() == 0.0
+
+    def test_loss_increases_delay(self):
+        def run(loss):
+            graph = grid_topology(3, 3, balance=100.0)
+            net = lossy_network(graph, loss_rate=loss, seed=7)
+            strategy = FlashStrategy(net, random.Random(0), threshold=1e9)
+            outcomes = [
+                strategy.execute(
+                    Transaction(
+                        txid=i, sender=0, receiver=8, amount=20.0
+                    ),
+                    is_mouse=True,
+                )
+                for i in range(10)
+            ]
+            return sum(o.elapsed for o in outcomes)
+
+        assert run(0.15) > run(0.0)

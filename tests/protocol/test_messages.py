@@ -1,0 +1,100 @@
+"""Tests for the Table-1 message format and wire encoding."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.messages import Message, MessageType, sub_payment_id
+
+
+def probe(path=(0, 1, 2), index=0):
+    return Message(trans_id="tx1.1", mtype=MessageType.PROBE, path=path, index=index)
+
+
+class TestTableOneFields:
+    def test_all_fields_present(self):
+        """The message carries exactly Table 1: TransID, Type, Path,
+        Capacity, Commit (plus the routing cursor and free payload)."""
+        message = probe()
+        assert message.trans_id == "tx1.1"
+        assert message.mtype is MessageType.PROBE
+        assert message.path == (0, 1, 2)
+        assert message.capacity == ()
+        assert message.commit == 0.0
+
+    def test_all_nine_types_exist(self):
+        names = {t.value for t in MessageType}
+        assert names == {
+            "PROBE",
+            "PROBE_ACK",
+            "COMMIT",
+            "COMMIT_ACK",
+            "COMMIT_NACK",
+            "CONFIRM",
+            "CONFIRM_ACK",
+            "REVERSE",
+            "REVERSE_ACK",
+        }
+
+
+class TestNavigation:
+    def test_current_and_next(self):
+        message = probe(index=1)
+        assert message.current == 1
+        assert message.next_hop == 2
+
+    def test_forwarded_advances(self):
+        assert probe().forwarded().index == 1
+
+    def test_at_end(self):
+        assert probe(index=2).at_end
+
+    def test_next_hop_at_end_rejected(self):
+        with pytest.raises(ProtocolError):
+            probe(index=2).next_hop
+
+    def test_reply_reverses_traversed_prefix(self):
+        message = probe(path=(0, 1, 2, 3), index=2)
+        reply = message.reply(MessageType.PROBE_ACK)
+        assert reply.path == (2, 1, 0)
+        assert reply.index == 0
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ProtocolError):
+            probe(index=5)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message(trans_id="x", mtype=MessageType.PROBE, path=())
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        message = Message(
+            trans_id="tx9.2",
+            mtype=MessageType.COMMIT,
+            path=(5, 6, 7),
+            index=1,
+            capacity=((10.0, 3.0),),
+            commit=42.5,
+            payload={"note": "hi"},
+        )
+        assert Message.decode(message.encode()) == message
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message.decode(b"not json")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message.decode(b'{"trans_id": "x"}')
+
+    def test_unknown_type_rejected(self):
+        raw = probe().encode().replace(b"PROBE", b"BOGUS")
+        with pytest.raises(ProtocolError):
+            Message.decode(raw)
+
+
+class TestSubPaymentIds:
+    def test_unique_per_attempt(self):
+        assert sub_payment_id(3, 1) != sub_payment_id(3, 2)
+        assert sub_payment_id(3, 1) != sub_payment_id(4, 1)

@@ -1,0 +1,108 @@
+"""Tests for testbed routing strategies."""
+
+import random
+
+import pytest
+
+from repro.network.graph import ChannelGraph
+from repro.network.topology import grid_topology
+from repro.protocol.network import ProtocolNetwork
+from repro.protocol.strategies import (
+    FlashStrategy,
+    ShortestPathStrategy,
+    SpiderStrategy,
+)
+from repro.traces.workload import Transaction
+
+
+def txn(amount, sender=0, receiver=8, txid=0):
+    return Transaction(txid=txid, sender=sender, receiver=receiver, amount=amount)
+
+
+@pytest.fixture
+def net():
+    return ProtocolNetwork(grid_topology(3, 3, balance=100.0))
+
+
+class TestShortestPathStrategy:
+    def test_small_payment_succeeds(self, net):
+        strategy = ShortestPathStrategy(net, random.Random(0))
+        outcome = strategy.execute(txn(20.0), is_mouse=True)
+        assert outcome.success
+        assert outcome.delivered == 20.0
+        assert outcome.probe_messages == 0
+
+    def test_large_payment_fails_cleanly(self, net):
+        strategy = ShortestPathStrategy(net, random.Random(0))
+        outcome = strategy.execute(txn(150.0), is_mouse=False)
+        assert not outcome.success
+        assert net.total_escrow() == 0.0
+        assert net.graph.balance(0, 1) == 100.0
+
+    def test_elapsed_time_positive(self, net):
+        strategy = ShortestPathStrategy(net, random.Random(0))
+        outcome = strategy.execute(txn(20.0), is_mouse=True)
+        assert outcome.elapsed > 0
+
+
+class TestSpiderStrategy:
+    def test_splits_when_single_path_insufficient(self, net):
+        strategy = SpiderStrategy(net, random.Random(0))
+        outcome = strategy.execute(txn(150.0), is_mouse=False)
+        assert outcome.success
+        assert net.graph.balance(8, 5) + net.graph.balance(8, 7) > 200.0
+
+    def test_probes_every_payment(self, net):
+        strategy = SpiderStrategy(net, random.Random(0))
+        first = strategy.execute(txn(5.0, txid=0), is_mouse=True)
+        second = strategy.execute(txn(5.0, txid=1), is_mouse=True)
+        assert first.probe_messages > 0
+        assert second.probe_messages == first.probe_messages
+
+    def test_infeasible_fails_without_escrow_leak(self, net):
+        strategy = SpiderStrategy(net, random.Random(0))
+        outcome = strategy.execute(txn(10_000.0), is_mouse=False)
+        assert not outcome.success
+        assert net.total_escrow() == 0.0
+
+
+class TestFlashStrategy:
+    def test_mouse_blind_first_try_no_probe(self, net):
+        strategy = FlashStrategy(net, random.Random(0), threshold=1_000.0)
+        outcome = strategy.execute(txn(20.0), is_mouse=True)
+        assert outcome.success
+        assert outcome.probe_messages == 0
+
+    def test_mouse_partial_payments(self, net):
+        strategy = FlashStrategy(net, random.Random(0), threshold=1_000.0)
+        # 150 exceeds any single path (100) but fits across two.
+        outcome = strategy.execute(txn(150.0), is_mouse=True)
+        assert outcome.success
+        assert outcome.probe_messages > 0
+
+    def test_elephant_uses_maxflow(self, net):
+        strategy = FlashStrategy(net, random.Random(0), threshold=50.0)
+        outcome = strategy.execute(txn(180.0), is_mouse=False)
+        assert outcome.success
+        assert outcome.probe_messages > 0
+
+    def test_elephant_infeasible_fails_cleanly(self, net):
+        strategy = FlashStrategy(net, random.Random(0), threshold=50.0)
+        outcome = strategy.execute(txn(10_000.0), is_mouse=False)
+        assert not outcome.success
+        assert net.total_escrow() == 0.0
+
+    def test_mouse_failure_reverses_partials(self, net):
+        strategy = FlashStrategy(net, random.Random(0), threshold=10_000.0, m=2)
+        outcome = strategy.execute(txn(5_000.0), is_mouse=True)
+        assert not outcome.success
+        assert net.total_escrow() == 0.0
+        assert net.graph.balance(0, 1) == 100.0
+
+    def test_funds_conserved_across_mixed_workload(self, net):
+        strategy = FlashStrategy(net, random.Random(0), threshold=80.0)
+        funds = net.graph.network_funds()
+        for i, amount in enumerate([10.0, 120.0, 30.0, 500.0, 60.0]):
+            strategy.execute(txn(amount, txid=i), is_mouse=amount < 80.0)
+        assert net.graph.network_funds() == pytest.approx(funds)
+        assert net.total_escrow() == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the testbed harness (Fig 12/13 machinery)."""
+
+import random
+
+import pytest
+
+from repro.network.topology import testbed_topology as make_testbed_topology
+from repro.protocol.testbed import (
+    TestbedExperiment,
+    generate_testbed_workload,
+    normalized_delays,
+    run_testbed,
+)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    experiment = TestbedExperiment(
+        n_nodes=20,
+        capacity_low=1_000.0,
+        capacity_high=1_500.0,
+        n_transactions=120,
+        seed=5,
+    )
+    return experiment.run()
+
+
+class TestWorkloadGeneration:
+    def test_size_and_pairs(self):
+        rng = random.Random(0)
+        graph = make_testbed_topology(rng, n_nodes=20)
+        workload = generate_testbed_workload(rng, graph, 50)
+        assert len(workload) == 50
+        assert all(t.sender != t.receiver for t in workload)
+
+    def test_rejects_unconnected_graph(self):
+        from repro.network.graph import ChannelGraph
+
+        with pytest.raises(ValueError):
+            generate_testbed_workload(random.Random(0), ChannelGraph(), 5)
+
+
+class TestRunTestbed:
+    def test_all_schemes_run(self, small_results):
+        assert set(small_results) == {"Flash", "Spider", "SP"}
+        for result in small_results.values():
+            assert result.transactions == 120
+
+    def test_flash_beats_sp_on_volume(self, small_results):
+        assert (
+            small_results["Flash"].success_volume
+            > small_results["SP"].success_volume
+        )
+
+    def test_sp_is_fastest(self, small_results):
+        assert small_results["SP"].mean_delay <= small_results["Flash"].mean_delay
+        assert small_results["SP"].mean_delay <= small_results["Spider"].mean_delay
+
+    def test_flash_mice_faster_than_spider_mice(self, small_results):
+        assert (
+            small_results["Flash"].mean_mice_delay
+            < small_results["Spider"].mean_mice_delay
+        )
+
+    def test_sp_never_probes(self, small_results):
+        assert small_results["SP"].probe_messages == 0
+
+
+class TestNormalizedDelays:
+    def test_baseline_is_one(self, small_results):
+        normalized = normalized_delays(small_results)
+        assert normalized["SP"] == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_dynamic_schemes_slower_than_sp(self, small_results):
+        normalized = normalized_delays(small_results)
+        assert normalized["Flash"][0] > 1.0
+        assert normalized["Spider"][0] > 1.0

@@ -1,0 +1,90 @@
+"""Tests for the trace-driven simulation engine."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import run_simulation
+from repro.sim.factories import (
+    flash_factory,
+    shortest_path_factory,
+    spider_factory,
+)
+from repro.traces.workload import Transaction, Workload
+
+
+@pytest.fixture
+def small_workload():
+    return Workload(
+        [
+            Transaction(txid=0, sender=0, receiver=3, amount=10.0, time=0.0),
+            Transaction(txid=1, sender=0, receiver=3, amount=20.0, time=1.0),
+            Transaction(txid=2, sender=3, receiver=0, amount=15.0, time=2.0),
+            Transaction(txid=3, sender=0, receiver=3, amount=900.0, time=3.0),
+        ]
+    )
+
+
+class TestRunSimulation:
+    def test_records_every_transaction(self, diamond_graph, small_workload):
+        result = run_simulation(diamond_graph, flash_factory(), small_workload)
+        assert result.transactions == 4
+        assert [r.txid for r in result.records] == [0, 1, 2, 3]
+
+    def test_copy_graph_preserves_input(self, diamond_graph, small_workload):
+        funds = {
+            (0, 1): diamond_graph.balance(0, 1),
+            (0, 2): diamond_graph.balance(0, 2),
+        }
+        run_simulation(diamond_graph, flash_factory(), small_workload)
+        assert diamond_graph.balance(0, 1) == funds[(0, 1)]
+        assert diamond_graph.balance(0, 2) == funds[(0, 2)]
+
+    def test_copy_graph_false_mutates_input(self, diamond_graph, small_workload):
+        run_simulation(
+            diamond_graph,
+            shortest_path_factory(),
+            small_workload,
+            copy_graph=False,
+        )
+        moved = sum(
+            1
+            for (u, v) in [(0, 1), (0, 2)]
+            if diamond_graph.balance(u, v) != 50.0
+        )
+        assert moved >= 1
+
+    def test_oversized_payment_fails(self, diamond_graph, small_workload):
+        result = run_simulation(diamond_graph, flash_factory(), small_workload)
+        assert result.records[3].success is False
+
+    def test_elephant_tagging_uses_reference_fraction(
+        self, diamond_graph, small_workload
+    ):
+        result = run_simulation(
+            diamond_graph,
+            flash_factory(),
+            small_workload,
+            reference_mice_fraction=0.75,
+        )
+        tags = [r.is_elephant for r in result.records]
+        assert tags == [False, False, False, True]
+
+    def test_message_deltas_attributed_per_transaction(
+        self, diamond_graph, small_workload
+    ):
+        result = run_simulation(diamond_graph, spider_factory(), small_workload)
+        # Spider probes both disjoint paths (2 hops each) per payment.
+        for record in result.records:
+            assert record.probe_messages == 4
+
+    def test_deterministic_given_seed(self, diamond_graph, small_workload):
+        first = run_simulation(
+            diamond_graph, flash_factory(), small_workload, rng=random.Random(3)
+        )
+        second = run_simulation(
+            diamond_graph, flash_factory(), small_workload, rng=random.Random(3)
+        )
+        assert [r.success for r in first.records] == [
+            r.success for r in second.records
+        ]

@@ -1,0 +1,86 @@
+"""Tests for simulation metrics and averaging."""
+
+import pytest
+
+from repro.sim.metrics import (
+    AveragedMetrics,
+    SimulationResult,
+    TransactionRecord,
+)
+
+
+def record(txid, amount, success, fee=0.0, elephant=False, probes=0, payments=0):
+    return TransactionRecord(
+        txid=txid,
+        amount=amount,
+        success=success,
+        fee=fee,
+        is_elephant=elephant,
+        probe_messages=probes,
+        payment_messages=payments,
+        paths_used=1,
+    )
+
+
+@pytest.fixture
+def result():
+    return SimulationResult(
+        scheme="test",
+        records=[
+            record(0, 10.0, True, fee=0.1, probes=2),
+            record(1, 20.0, False, probes=4),
+            record(2, 1_000.0, True, fee=5.0, elephant=True, probes=10),
+        ],
+    )
+
+
+class TestSimulationResult:
+    def test_success_ratio(self, result):
+        assert result.success_ratio == pytest.approx(2 / 3)
+
+    def test_success_volume(self, result):
+        assert result.success_volume == pytest.approx(1_010.0)
+
+    def test_probe_messages(self, result):
+        assert result.probe_messages == 16
+
+    def test_fees_exclude_failures(self, result):
+        assert result.total_fees == pytest.approx(5.1)
+
+    def test_fee_to_volume_percent(self, result):
+        assert result.fee_to_volume_percent == pytest.approx(100 * 5.1 / 1010.0)
+
+    def test_class_breakdown(self, result):
+        assert result.mice_success_volume == pytest.approx(10.0)
+        assert result.elephant_success_volume == pytest.approx(1_000.0)
+        assert result.mice_success_ratio == pytest.approx(0.5)
+        assert result.elephant_success_ratio == pytest.approx(1.0)
+
+    def test_empty_result(self):
+        empty = SimulationResult(scheme="empty")
+        assert empty.success_ratio == 0.0
+        assert empty.fee_to_volume_percent == 0.0
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert summary["transactions"] == 3.0
+        assert "probe_messages" in summary
+
+
+class TestAveragedMetrics:
+    def test_mean_over_runs(self, result):
+        other = SimulationResult(
+            scheme="test", records=[record(0, 10.0, True, probes=4)]
+        )
+        averaged = AveragedMetrics.of([result, other])
+        assert averaged.runs == 2
+        assert averaged.probe_messages == pytest.approx((16 + 4) / 2)
+
+    def test_rejects_mixed_schemes(self, result):
+        other = SimulationResult(scheme="other")
+        with pytest.raises(ValueError):
+            AveragedMetrics.of([result, other])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AveragedMetrics.of([])

@@ -1,0 +1,45 @@
+"""Tests for result table formatting."""
+
+from repro.sim.results import format_number, format_series, format_table
+
+
+class TestFormatNumber:
+    def test_zero(self):
+        assert format_number(0) == "0"
+
+    def test_large_scientific(self):
+        assert format_number(1_234_567.0) == "1.235e+06"
+
+    def test_small_scientific(self):
+        assert "e" in format_number(0.0001)
+
+    def test_mid_range(self):
+        assert format_number(0.91) == "0.910"
+
+    def test_hundreds_with_separator(self):
+        assert format_number(1234.5) == "1,234.5"
+
+
+class TestFormatTable:
+    def test_header_and_separator(self):
+        table = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1].replace("  ", "")) == {"-"}
+        assert len(lines) == 4
+
+    def test_column_alignment(self):
+        table = format_table(["name", "v"], [["long-name", 1]])
+        lines = table.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+
+class TestFormatSeries:
+    def test_one_row_per_scheme(self):
+        text = format_series(
+            "x", [1, 2], {"Flash": [0.5, 0.9], "SP": [0.1, 0.2]}, "ratio"
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "Flash" in lines[2]
+        assert "SP" in lines[3]

@@ -1,0 +1,68 @@
+"""Tests for multi-run comparison and sweeps."""
+
+import random
+
+import pytest
+
+from repro.network.topology import grid_topology
+from repro.sim.factories import (
+    flash_factory,
+    shortest_path_factory,
+)
+from repro.sim.runner import run_comparison, sweep
+from repro.traces.generators import generate_ripple_workload
+
+
+def scenario(scale=1.0):
+    def build(rng: random.Random):
+        graph = grid_topology(4, 4, balance=100.0)
+        if scale != 1.0:
+            graph.scale_balances(scale)
+        workload = generate_ripple_workload(rng, graph.nodes, 40)
+        return graph, workload
+
+    return build
+
+
+FACTORIES = {
+    "Flash": flash_factory(k=5, m=2),
+    "Shortest Path": shortest_path_factory(),
+}
+
+
+class TestRunComparison:
+    def test_all_schemes_present(self):
+        comparison = run_comparison(scenario(), FACTORIES, runs=2)
+        assert set(comparison.schemes()) == {"Flash", "Shortest Path"}
+
+    def test_averages_over_requested_runs(self):
+        comparison = run_comparison(scenario(), FACTORIES, runs=3)
+        assert comparison["Flash"].runs == 3
+
+    def test_deterministic_given_seed(self):
+        first = run_comparison(scenario(), FACTORIES, runs=2, base_seed=9)
+        second = run_comparison(scenario(), FACTORIES, runs=2, base_seed=9)
+        assert first["Flash"].success_volume == second["Flash"].success_volume
+
+    def test_flash_at_least_matches_sp_volume(self):
+        comparison = run_comparison(scenario(), FACTORIES, runs=3)
+        assert (
+            comparison["Flash"].success_volume
+            >= 0.95 * comparison["Shortest Path"].success_volume
+        )
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            run_comparison(scenario(), FACTORIES, runs=0)
+
+
+class TestSweep:
+    def test_series_shape(self):
+        series = sweep([1.0, 5.0], scenario, FACTORIES, runs=2)
+        assert len(series["Flash"]) == 2
+        assert len(series["Shortest Path"]) == 2
+
+    def test_more_capacity_never_hurts_much(self):
+        series = sweep([1.0, 20.0], scenario, FACTORIES, runs=2)
+        flash = series["Flash"]
+        assert flash[1].success_ratio >= flash[0].success_ratio - 0.05

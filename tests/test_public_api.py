@@ -1,0 +1,46 @@
+"""Sanity checks on the public API surface (`import repro`)."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_routers_exported(self):
+        for router in (
+            repro.FlashRouter,
+            repro.SpiderRouter,
+            repro.SpeedyMurmursRouter,
+            repro.ShortestPathRouter,
+            repro.LandmarkRouter,
+        ):
+            assert issubclass(router, repro.Router)
+
+    def test_error_hierarchy(self):
+        for error in (
+            repro.ChannelError,
+            repro.RoutingError,
+            repro.ProtocolError,
+            repro.TopologyError,
+            repro.OptimizationError,
+        ):
+            assert issubclass(error, repro.ReproError)
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.cli
+        import repro.core
+        import repro.eval
+        import repro.extensions
+        import repro.network
+        import repro.protocol
+        import repro.sim
+        import repro.traces
+
+        assert repro.core.DEFAULT_K == 20
+        assert repro.core.DEFAULT_M == 4

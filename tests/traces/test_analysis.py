@@ -1,0 +1,95 @@
+"""Tests for trace analysis (the Fig 3 / Fig 4 measurement machinery)."""
+
+import pytest
+
+from repro.traces.analysis import (
+    SizeSummary,
+    daily_windows,
+    empirical_cdf,
+    recurring_fraction_per_day,
+    top_k_receiver_share_per_day,
+    volume_share_of_top,
+)
+from repro.traces.generators import SECONDS_PER_DAY
+from repro.traces.workload import Transaction, Workload
+
+
+def txn(i, sender, receiver, amount=1.0, day=0, offset=0.0):
+    return Transaction(
+        txid=i,
+        sender=sender,
+        receiver=receiver,
+        amount=amount,
+        time=day * SECONDS_PER_DAY + offset,
+    )
+
+
+class TestCdf:
+    def test_empty(self):
+        assert empirical_cdf([]) == ([], [])
+
+    def test_sorted_and_normalized(self):
+        values, fractions = empirical_cdf([3.0, 1.0, 2.0])
+        assert values == [1.0, 2.0, 3.0]
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestVolumeShare:
+    def test_uniform_values(self):
+        share = volume_share_of_top([1.0] * 10, 0.10)
+        assert share == pytest.approx(0.10)
+
+    def test_single_whale(self):
+        share = volume_share_of_top([1.0] * 9 + [991.0], 0.10)
+        assert share == pytest.approx(0.991)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            volume_share_of_top([1.0], 0.0)
+
+    def test_summary(self):
+        summary = SizeSummary.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.median == 3.0
+
+
+class TestDailyWindows:
+    def test_grouping(self):
+        workload = Workload(
+            [txn(0, "a", "b", day=0), txn(1, "a", "b", day=1), txn(2, "a", "c", day=1)]
+        )
+        windows = daily_windows(workload)
+        assert len(windows[0]) == 1
+        assert len(windows[1]) == 2
+
+
+class TestRecurringFraction:
+    def test_all_unique_pairs(self):
+        workload = Workload([txn(0, "a", "b"), txn(1, "a", "c"), txn(2, "b", "c")])
+        assert recurring_fraction_per_day(workload) == [0.0]
+
+    def test_all_repeats(self):
+        workload = Workload(
+            [txn(i, "a", "b", offset=float(i)) for i in range(4)]
+        )
+        assert recurring_fraction_per_day(workload) == [0.75]
+
+    def test_window_reset_across_days(self):
+        # The same pair on different days does not count as recurring.
+        workload = Workload([txn(0, "a", "b", day=0), txn(1, "a", "b", day=1)])
+        assert recurring_fraction_per_day(workload) == [0.0, 0.0]
+
+
+class TestTopKShare:
+    def test_single_receiver_sender(self):
+        workload = Workload(
+            [txn(i, "a", "b", offset=float(i)) for i in range(10)]
+        )
+        assert top_k_receiver_share_per_day(workload, k=5) == [1.0]
+
+    def test_many_receivers(self):
+        # Sender pays 10 distinct receivers once each: top-5 share is 0.5.
+        workload = Workload(
+            [txn(i, "s", f"r{i}", offset=float(i)) for i in range(10)]
+        )
+        assert top_k_receiver_share_per_day(workload, k=5) == [0.5]

@@ -1,0 +1,107 @@
+"""Calibration tests: the synthetic size distributions must reproduce the
+paper's Fig-3 statistics (§2.2)."""
+
+import random
+
+import pytest
+
+from repro.traces.distributions import (
+    LogNormalSpec,
+    PaymentSizeDistribution,
+    bitcoin_size_distribution,
+    make_calibrated_distribution,
+    ripple_size_distribution,
+)
+from repro.traces.workload import percentile
+from repro.traces.analysis import volume_share_of_top
+
+
+class TestLogNormalSpec:
+    def test_median(self):
+        rng = random.Random(0)
+        spec = LogNormalSpec(median=100.0, sigma=1.0)
+        samples = sorted(spec.sample(rng) for _ in range(4_000))
+        assert 85.0 < samples[len(samples) // 2] < 118.0
+
+    def test_mean_formula(self):
+        spec = LogNormalSpec(median=10.0, sigma=0.0)
+        assert spec.mean == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalSpec(median=-1.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LogNormalSpec(median=1.0, sigma=-1.0)
+
+
+class TestMixture:
+    def test_tail_weight_validation(self):
+        body = LogNormalSpec(1.0, 1.0)
+        with pytest.raises(ValueError):
+            PaymentSizeDistribution(body, body, tail_weight=1.5)
+
+    def test_sample_many_length(self):
+        dist = ripple_size_distribution()
+        assert len(dist.sample_many(random.Random(0), 100)) == 100
+
+    def test_all_samples_positive(self):
+        dist = ripple_size_distribution()
+        assert all(x > 0 for x in dist.sample_many(random.Random(0), 1_000))
+
+
+class TestRippleCalibration:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return ripple_size_distribution().sample_many(random.Random(42), 40_000)
+
+    def test_median_close_to_paper(self, samples):
+        # Paper: median $4.8.
+        assert 3.5 < percentile(samples, 0.5) < 7.5
+
+    def test_top_decile_sits_above_paper_p90(self, samples):
+        # Paper: top 10% are larger than $1,740.  The mixture CDF is nearly
+        # flat between body and tail, so we assert just inside the tail.
+        assert percentile(samples, 0.92) > 0.8 * 1_740.0
+
+    def test_p90_in_body_tail_gap(self, samples):
+        # The empirical p90 must exceed the body's bulk by a wide margin.
+        assert percentile(samples, 0.9) > 50 * percentile(samples, 0.5)
+
+    def test_top_decile_volume_share(self, samples):
+        # Paper: top 10% of payments carry 94.5% of volume.
+        share = volume_share_of_top(samples, 0.10)
+        assert 0.90 < share < 0.99
+
+
+class TestBitcoinCalibration:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return bitcoin_size_distribution().sample_many(random.Random(42), 40_000)
+
+    def test_median_close_to_paper(self, samples):
+        # Paper: median 1.293e6 satoshi.
+        assert 0.8e6 < percentile(samples, 0.5) < 2.0e6
+
+    def test_top_decile_sits_above_paper_p90(self, samples):
+        # Paper: top 10% are larger than 8.9e7 satoshi.
+        assert percentile(samples, 0.92) > 0.8 * 8.9e7
+
+    def test_top_decile_volume_share(self, samples):
+        # Paper: 94.7% of volume in the top decile.
+        share = volume_share_of_top(samples, 0.10)
+        assert 0.90 < share < 0.995
+
+
+class TestCalibrationSolver:
+    def test_degenerate_tail(self):
+        # A tiny volume share is achievable with a point-mass tail.
+        dist = make_calibrated_distribution(10.0, 20.0, 0.05)
+        assert dist.tail.sigma == 0.0
+
+    def test_rejects_certain_volume_share(self):
+        with pytest.raises(ValueError):
+            make_calibrated_distribution(10.0, 20.0, 1.0)
+
+    def test_rejects_bad_tail_weight(self):
+        with pytest.raises(ValueError):
+            make_calibrated_distribution(10.0, 20.0, 0.5, tail_weight=0.0)

@@ -1,0 +1,74 @@
+"""Tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.traces.generators import (
+    SECONDS_PER_DAY,
+    generate_lightning_workload,
+    generate_multiday_trace,
+    generate_ripple_workload,
+    generate_workload,
+)
+from repro.traces.distributions import ripple_size_distribution
+
+
+NODES = list(range(50))
+
+
+class TestGenerateWorkload:
+    def test_length(self):
+        workload = generate_ripple_workload(random.Random(0), NODES, 200)
+        assert len(workload) == 200
+
+    def test_times_monotone(self):
+        workload = generate_ripple_workload(random.Random(0), NODES, 200)
+        times = [t.time for t in workload]
+        assert times == sorted(times)
+
+    def test_txids_sequential(self):
+        workload = generate_ripple_workload(random.Random(0), NODES, 50)
+        assert [t.txid for t in workload] == list(range(50))
+
+    def test_deterministic_given_seed(self):
+        first = generate_ripple_workload(random.Random(5), NODES, 100)
+        second = generate_ripple_workload(random.Random(5), NODES, 100)
+        assert [t.amount for t in first] == [t.amount for t in second]
+
+    def test_senders_within_population(self):
+        workload = generate_ripple_workload(random.Random(0), NODES, 100)
+        assert workload.senders() <= set(NODES)
+
+    def test_lightning_sizes_are_satoshi_scale(self):
+        workload = generate_lightning_workload(random.Random(0), NODES, 500)
+        amounts = sorted(workload.amounts)
+        median = amounts[len(amounts) // 2]
+        assert median > 1e5  # satoshi scale, not USD scale
+
+    def test_rate_controls_duration(self):
+        workload = generate_workload(
+            random.Random(0),
+            NODES,
+            1_000,
+            ripple_size_distribution(),
+            transactions_per_day=1_000.0,
+        )
+        assert workload[-1].time == pytest.approx(SECONDS_PER_DAY, rel=0.35)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_ripple_workload(random.Random(0), NODES, -1)
+
+
+class TestMultidayTrace:
+    def test_spans_days(self):
+        trace = generate_multiday_trace(
+            random.Random(0), NODES, days=5, transactions_per_day=100
+        )
+        assert len(trace) == 500
+        assert trace[-1].time > 3 * SECONDS_PER_DAY
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            generate_multiday_trace(random.Random(0), NODES, days=0, transactions_per_day=10)

@@ -1,0 +1,89 @@
+"""Tests for the recurrent pair process — must reproduce Fig 4 statistics."""
+
+import random
+
+import pytest
+
+from repro.traces.generators import generate_multiday_trace
+from repro.traces.analysis import recurrence_summary
+from repro.traces.recurrence import RecurrentPairSampler, uniform_pairs, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(10, 1.2)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_exponent_zero_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestRecurrentPairSampler:
+    def test_no_self_payments(self):
+        sampler = RecurrentPairSampler(list(range(20)), random.Random(0))
+        for sender, receiver in sampler.sample_pairs(500):
+            assert sender != receiver
+
+    def test_pairs_within_population(self):
+        nodes = ["a", "b", "c", "d", "e"]
+        sampler = RecurrentPairSampler(nodes, random.Random(0))
+        for sender, receiver in sampler.sample_pairs(200):
+            assert sender in nodes and receiver in nodes
+
+    def test_contacts_are_sticky(self):
+        sampler = RecurrentPairSampler(
+            list(range(100)), random.Random(0), repeat_probability=1.0
+        )
+        pairs = sampler.sample_pairs(400)
+        senders = {s for s, _ in pairs}
+        for sender in senders:
+            receivers = {r for s, r in pairs if s == sender}
+            assert len(receivers) <= 8  # bounded by the contact list
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            RecurrentPairSampler([1], random.Random(0))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RecurrentPairSampler([1, 2], random.Random(0), repeat_probability=2.0)
+
+
+class TestFig4Calibration:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        rng = random.Random(7)
+        trace = generate_multiday_trace(
+            rng, list(range(300)), days=30, transactions_per_day=500
+        )
+        return recurrence_summary(trace)
+
+    def test_recurring_fraction_matches_paper(self, summary):
+        # Paper: median 86% of transactions recur within 24h (Fig 4a).
+        assert 0.75 <= summary["median_recurring_fraction"] <= 0.97
+
+    def test_top5_share_matches_paper(self, summary):
+        # Paper: top-5 receivers cover >= 70% of daily payments (Fig 4b).
+        assert summary["median_top_k_share"] >= 0.70
+
+    def test_day_count(self, summary):
+        assert summary["days"] >= 29  # Poisson arrivals may spill one day
+
+
+class TestUniformPairs:
+    def test_no_self_pairs(self):
+        pairs = uniform_pairs(list(range(10)), random.Random(0), 100)
+        assert all(s != r for s, r in pairs)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            uniform_pairs([1], random.Random(0), 5)
