@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_routing.json`` snapshots and print per-metric deltas.
+
+Usage::
+
+    python benchmarks/compare_bench.py OLD.json [NEW.json]
+    python benchmarks/compare_bench.py --fail-on-regression OLD.json NEW.json
+
+``NEW.json`` defaults to the ``BENCH_routing.json`` at the repo root
+(i.e. the one the last benchmark run wrote).  For timing metrics
+(``*_ms``, lower is better) the tool prints the old/new times and the
+speedup of new over old; for ratio metrics (``speedup``,
+``transactions_per_second``, higher is better) it prints the relative
+change.  With ``--fail-on-regression`` the exit code is 1 when any
+timing metric slowed down by more than the tolerance (default 10%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_NEW = REPO_ROOT / "BENCH_routing.json"
+
+#: Slowdown tolerated before --fail-on-regression trips (timing noise).
+DEFAULT_TOLERANCE = 0.10
+
+
+def _flatten(prefix: str, node) -> dict[str, float]:
+    """Flatten nested dicts to dotted keys, keeping numeric leaves."""
+    flat: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flat.update(_flatten(f"{prefix}.{key}" if prefix else key, value))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        flat[prefix] = float(node)
+    return flat
+
+
+def _direction(metric: str) -> str:
+    """'down' when lower is better, 'up' when higher is better, '' neutral."""
+    leaf = metric.rsplit(".", 1)[-1]
+    if leaf.endswith("_ms"):
+        return "down"
+    if leaf in ("speedup", "transactions_per_second"):
+        return "up"
+    return ""
+
+
+def compare(old: dict, new: dict, tolerance: float) -> tuple[list[str], bool]:
+    flat_old = _flatten("", old)
+    flat_new = _flatten("", new)
+    lines = []
+    regressed = False
+    header = f"{'metric':44s} {'old':>12s} {'new':>12s} {'change':>10s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for metric in sorted(set(flat_old) & set(flat_new)):
+        direction = _direction(metric)
+        if not direction:
+            continue
+        before = flat_old[metric]
+        after = flat_new[metric]
+        if direction == "down":
+            ratio = before / after if after else float("inf")
+            note = f"{ratio:9.2f}x"
+            if after > before * (1.0 + tolerance):
+                note += " <- regression"
+                regressed = True
+        else:
+            delta = (after - before) / before * 100.0 if before else 0.0
+            note = f"{delta:+9.1f}%"
+            if after < before * (1.0 - tolerance):
+                note += " <- regression"
+                regressed = True
+        lines.append(f"{metric:44s} {before:12.3f} {after:12.3f} {note}")
+    only_old = sorted(set(flat_old) - set(flat_new))
+    only_new = sorted(set(flat_new) - set(flat_old))
+    if only_old:
+        lines.append(f"dropped metrics: {', '.join(only_old)}")
+    if only_new:
+        lines.append(f"new metrics: {', '.join(only_new)}")
+    return lines, regressed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=pathlib.Path, help="previous snapshot")
+    parser.add_argument(
+        "new",
+        type=pathlib.Path,
+        nargs="?",
+        default=DEFAULT_NEW,
+        help=f"new snapshot (default: {DEFAULT_NEW})",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when a timing metric slowed beyond the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative slowdown tolerated (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+    except FileNotFoundError as exc:
+        print(f"error: snapshot not found: {exc.filename}", file=sys.stderr)
+        return 2
+    lines, regressed = compare(old, new, args.tolerance)
+    print("\n".join(lines))
+    if regressed and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,7 @@ from repro.extensions import Rebalancer, channel_skew
 from repro.network import (
     Channel,
     ChannelGraph,
+    CompactTopology,
     LinearFee,
     NetworkView,
     PaymentSession,
@@ -109,6 +110,7 @@ __all__ = [
     "ChannelEvent",
     "ChannelEventType",
     "ChannelGraph",
+    "CompactTopology",
     "ChurnModel",
     "GossipSchedule",
     "Rebalancer",

@@ -56,7 +56,7 @@ class LandmarkRouter(Router):
         if num_landmarks <= 0:
             raise ValueError(f"num_landmarks must be positive, got {num_landmarks}")
         self.num_landmarks = num_landmarks
-        self._topology = view.topology()
+        self._topology = view.compact_topology()
         self._landmarks = self._pick_landmarks()
         self._cache: dict[tuple[NodeId, NodeId], list[NodeId] | None] = {}
 
@@ -67,7 +67,7 @@ class LandmarkRouter(Router):
         return ranked[: self.num_landmarks]
 
     def on_topology_update(self) -> None:
-        self._topology = self.view.topology()
+        self._topology = self.view.compact_topology()
         self._landmarks = self._pick_landmarks()
         self._cache.clear()
 

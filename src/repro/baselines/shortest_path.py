@@ -22,11 +22,11 @@ class ShortestPathRouter(Router):
 
     def __init__(self, view: NetworkView) -> None:
         super().__init__(view)
-        self._topology = view.topology()
+        self._topology = view.compact_topology()
         self._path_cache: dict[tuple[NodeId, NodeId], list[NodeId] | None] = {}
 
     def on_topology_update(self) -> None:
-        self._topology = self.view.topology()
+        self._topology = self.view.compact_topology()
         self._path_cache.clear()
 
     def _shortest_path(self, source: NodeId, target: NodeId):

@@ -84,7 +84,7 @@ class SpeedyMurmursRouter(Router):
             raise ValueError(f"num_landmarks must be positive, got {num_landmarks}")
         self.num_landmarks = num_landmarks
         self.rng = rng if rng is not None else random.Random(0)
-        self._topology = view.topology()
+        self._topology = view.compact_topology()
         self._embeddings: list[dict[NodeId, Coordinate]] = []
         self._build_embeddings()
 
@@ -99,7 +99,7 @@ class SpeedyMurmursRouter(Router):
         ]
 
     def on_topology_update(self) -> None:
-        self._topology = self.view.topology()
+        self._topology = self.view.compact_topology()
         self._build_embeddings()
 
     def _greedy_path(

@@ -71,11 +71,11 @@ class SpiderRouter(Router):
         if num_paths <= 0:
             raise ValueError(f"num_paths must be positive, got {num_paths}")
         self.num_paths = num_paths
-        self._topology = view.topology()
+        self._topology = view.compact_topology()
         self._path_cache: dict[tuple[NodeId, NodeId], list[list[NodeId]]] = {}
 
     def on_topology_update(self) -> None:
-        self._topology = self.view.topology()
+        self._topology = self.view.compact_topology()
         self._path_cache.clear()
 
     def _paths(self, source: NodeId, target: NodeId) -> list[list[NodeId]]:

@@ -67,7 +67,9 @@ class FlashRouter(Router):
         self.table = RoutingTable(
             m=m, entry_ttl=table_ttl, max_entries=max_table_entries
         )
-        self._topology = view.topology()
+        # The interned CSR snapshot: every BFS/Yen below runs its integer
+        # fast path, and the mapping protocol keeps it API-compatible.
+        self._topology = view.compact_topology()
         #: Per-class counters for the microbenchmarks (Figs 10 & 11).
         self.elephant_count = 0
         self.mice_count = 0
@@ -76,7 +78,7 @@ class FlashRouter(Router):
 
     def on_topology_update(self) -> None:
         """Re-read the gossiped topology and refresh the routing table."""
-        self._topology = self.view.topology()
+        self._topology = self.view.compact_topology()
         self.table.refresh(self._topology)
 
     # ------------------------------------------------------------- routing

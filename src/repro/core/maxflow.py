@@ -15,6 +15,13 @@ search:
 
 The loop stops after at most ``k`` paths, so the probing overhead is
 bounded by ``k`` path probes instead of ``O(|V||E|)`` iterations.
+
+Internally the search runs on a
+:class:`~repro.network.compact.CompactTopology`: the residual/capacity
+matrix is a flat float list indexed by directed-edge *slot* id, and the
+reverse edge of every hop is an O(1) ``reverse_slot`` lookup — no
+``(NodeId, NodeId)`` tuple hashing on the hot path.  The probed capacity
+and fee maps returned to callers keep their node-tuple keys.
 """
 
 from __future__ import annotations
@@ -22,8 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.network.channel import NodeId
+from repro.network.compact import CompactTopology
 from repro.network.fees import FeePolicy
-from repro.network.paths import Adjacency, bfs_shortest_path
+from repro.network.paths import Adjacency
 from repro.network.view import NetworkView
 
 _EPS = 1e-9
@@ -68,7 +76,9 @@ def find_elephant_paths(
     """Run Algorithm 1: probe up to ``k`` augmenting paths for ``demand``.
 
     ``view`` is used only for probing (messages are counted there); the
-    search never reads ground-truth balances directly.
+    search never reads ground-truth balances directly.  ``topology`` may
+    be a plain adjacency mapping or a prebuilt
+    :class:`CompactTopology` — the latter skips the interning step.
     """
     if demand < 0:
         raise ValueError(f"negative demand {demand!r}")
@@ -76,49 +86,72 @@ def find_elephant_paths(
         raise ValueError(f"k must be positive, got {k}")
 
     result = PathSearchResult(demand=demand)
-    capacity = result.capacity
-    residual: dict[DirectedEdge, float] = {}
+    if not isinstance(topology, CompactTopology) and (
+        source not in topology or target not in topology
+    ):
+        # Mapping contract: endpoints must be keys, not just dangling
+        # neighbor values (matches bfs_shortest_path).
+        return result
+    ct = CompactTopology.from_adjacency(topology)
+    src = ct.index_of(source)
+    dst = ct.index_of(target)
+    if src is None or dst is None:
+        return result
 
-    def edge_ok(u: NodeId, v: NodeId) -> bool:
-        # Unprobed channels are assumed to have positive capacity (§3.2:
-        # "our algorithm works without the capacity matrix as input by
-        # assuming each channel has non-zero capacity").
-        return residual.get((u, v), 1.0) > _EPS
+    capacity = result.capacity
+    nodes = ct.nodes
+    reverse_slot = ct.reverse_slot
+    # Flat residual matrix indexed by slot, borrowed from the topology's
+    # epoch-stamped scratch so no O(num_slots) buffer is allocated per
+    # payment.  A slot is probed iff ``stamp[slot] == flow_epoch``;
+    # unprobed slots are assumed to have positive capacity (§3.2: "our
+    # algorithm works without the capacity matrix as input by assuming
+    # each channel has non-zero capacity").
+    residual, stamp, flow_epoch = ct.flow_scratch()
 
     while len(result.paths) < k:
-        path = bfs_shortest_path(topology, source, target, edge_ok=edge_ok)
-        if path is None:
+        found = ct.shortest_path_residual(
+            src, dst, residual, stamp, flow_epoch, _EPS
+        )
+        if found is None:
             break
+        idx_path, slot_path = found
+        path = [nodes[i] for i in idx_path]
         probe = view.probe_path(path)
         # Record C[u, v] and C[v, u] the first time each channel is seen.
-        for (u, v), forward, backward in zip(
-            zip(path, path[1:]), probe.balances, probe.reverse_balances
-        ):
-            if (u, v) not in capacity:
-                capacity[(u, v)] = forward
-                residual[(u, v)] = forward
-            if (v, u) not in capacity:
-                capacity[(v, u)] = backward
-                residual[(v, u)] = backward
-        for (u, v), policy in zip(zip(path, path[1:]), probe.fees):
-            result.fees.setdefault((u, v), policy)
+        for hop, slot in enumerate(slot_path):
+            if stamp[slot] != flow_epoch:
+                stamp[slot] = flow_epoch
+                residual[slot] = probe.balances[hop]
+                capacity[(path[hop], path[hop + 1])] = probe.balances[hop]
+            rev = reverse_slot[slot]
+            if rev >= 0 and stamp[rev] != flow_epoch:
+                stamp[rev] = flow_epoch
+                residual[rev] = probe.reverse_balances[hop]
+                capacity[(path[hop + 1], path[hop])] = probe.reverse_balances[
+                    hop
+                ]
+        for hop, policy in enumerate(probe.fees):
+            result.fees.setdefault((path[hop], path[hop + 1]), policy)
 
         # Bottleneck over the *residual* capacities, which account for the
         # flow already committed to earlier paths.
-        bottleneck = min(residual[(u, v)] for u, v in zip(path, path[1:]))
+        bottleneck = min(residual[slot] for slot in slot_path)
         result.paths.append(path)
         result.flows.append(bottleneck)
         if bottleneck > _EPS:
             result.max_flow += bottleneck
-            for u, v in zip(path, path[1:]):
-                residual[(u, v)] -= bottleneck
-                residual[(v, u)] = residual.get((v, u), 0.0) + bottleneck
+            for slot in slot_path:
+                residual[slot] -= bottleneck
+                rev = reverse_slot[slot]
+                if rev >= 0:
+                    residual[rev] += bottleneck
         else:
             # A probed-dead path (effective capacity zero): mark it so BFS
             # will not rediscover it, and keep searching.
-            for u, v in zip(path, path[1:]):
-                if residual[(u, v)] <= _EPS:
-                    residual[(u, v)] = 0.0
+            for slot in slot_path:
+                if residual[slot] <= _EPS:
+                    residual[slot] = 0.0
         if result.max_flow + _EPS >= demand:
             break
     return result

@@ -16,6 +16,13 @@ the three maintenance behaviours the paper describes:
 Our library manages one logical network, so the table is keyed by
 ``(sender, receiver)`` — each sender's slice is exactly the per-node table
 of the paper.
+
+Beyond the per-pair entries, the table keeps one *structural BFS layer*
+per sender: the BFS spanning tree rooted at the sender, which yields the
+first (fewest-hop) path to **every** receiver.  A miss for a new receiver
+of a known sender then skips Yen's initial BFS, and the tree is shared
+across all ``(sender, *)`` pairs until the topology changes (detected via
+a topology token; :meth:`refresh` also drops the trees explicitly).
 """
 
 from __future__ import annotations
@@ -23,9 +30,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.network.channel import NodeId
-from repro.network.paths import Adjacency, yen_k_shortest_paths
+from repro.network.compact import CompactTopology
+from repro.network.paths import Adjacency, bfs_tree_parents, yen_k_shortest_paths
 
 Path = list[NodeId]
+
+
+def _topology_token(topology: Adjacency) -> tuple:
+    """Cheap change-detection token for the cached BFS trees.
+
+    The cache also keeps a strong reference to the topology object and
+    validates it with ``is`` (so a recycled ``id`` can never alias a new
+    object); the token only guards against *in-place* mutation.  Compact
+    topologies are immutable snapshots, so their build version suffices.
+    Plain mappings are fingerprinted by size and degree sum — callers
+    that rewire a mapping in place while keeping those constant must
+    call :meth:`RoutingTable.refresh` (the paper's topology-update hook)
+    to invalidate.
+    """
+    if isinstance(topology, CompactTopology):
+        return (topology.version, topology.num_slots)
+    return (
+        len(topology),
+        sum(len(neighbors) for neighbors in topology.values()),
+    )
 
 
 @dataclass
@@ -49,6 +77,15 @@ class RoutingTable:
     entry_ttl: float = float("inf")
     max_entries: int | None = None
     _entries: dict[tuple[NodeId, NodeId], TableEntry] = field(default_factory=dict)
+    #: sender -> (topology object, token, BFS spanning-tree parents).  The
+    #: topology reference pins the object alive so identity checks are
+    #: sound; the cache is bounded by MAX_SOURCE_LAYERS (oldest evicted).
+    _source_layers: dict[
+        NodeId, tuple[Adjacency, tuple, dict[NodeId, NodeId]]
+    ] = field(default_factory=dict, repr=False)
+
+    #: Upper bound on cached per-source BFS trees (each is O(V)).
+    MAX_SOURCE_LAYERS = 128
 
     def __post_init__(self) -> None:
         if self.m < 0:
@@ -59,6 +96,59 @@ class RoutingTable:
 
     def __contains__(self, pair: tuple[NodeId, NodeId]) -> bool:
         return pair in self._entries
+
+    # ------------------------------------------------- structural BFS layer
+
+    def _source_tree(
+        self, sender: NodeId, topology: Adjacency
+    ) -> dict[NodeId, NodeId]:
+        """BFS parent pointers rooted at ``sender`` (cached per source)."""
+        token = _topology_token(topology)
+        cached = self._source_layers.get(sender)
+        if cached is not None and cached[0] is topology and cached[1] == token:
+            return cached[2]
+        parents = bfs_tree_parents(topology, sender)
+        self._source_layers[sender] = (topology, token, parents)
+        while len(self._source_layers) > self.MAX_SOURCE_LAYERS:
+            oldest = next(iter(self._source_layers))
+            del self._source_layers[oldest]
+        return parents
+
+    def _first_path(
+        self, sender: NodeId, receiver: NodeId, topology: Adjacency
+    ) -> Path | None:
+        """Fewest-hop path read off the cached source tree, or ``None``.
+
+        BFS assigns each node's parent at first discovery, so the tree
+        path is exactly what ``bfs_shortest_path`` would return.
+        """
+        parents = self._source_tree(sender, topology)
+        if receiver not in parents:
+            return None
+        path = [receiver]
+        while path[-1] != sender:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
+
+    def invalidate_structural_cache(self) -> None:
+        """Drop every cached per-source BFS tree."""
+        self._source_layers.clear()
+
+    def _ranked_paths(
+        self, sender: NodeId, receiver: NodeId, topology: Adjacency, k: int
+    ) -> list[Path]:
+        """Top-``k`` Yen paths, seeded by the cached source tree."""
+        if k <= 0:
+            return []
+        first = self._first_path(sender, receiver, topology)
+        if first is None:
+            return []
+        return yen_k_shortest_paths(
+            topology, sender, receiver, k, first=first
+        )
+
+    # -------------------------------------------------------------- lookups
 
     def lookup(
         self,
@@ -71,7 +161,7 @@ class RoutingTable:
         pair = (sender, receiver)
         entry = self._entries.get(pair)
         if entry is None:
-            paths = yen_k_shortest_paths(topology, sender, receiver, self.m)
+            paths = self._ranked_paths(sender, receiver, topology, self.m)
             entry = TableEntry(paths=paths, last_used=now, yen_cursor=len(paths))
             entry.misses += 1
             self._entries[pair] = entry
@@ -97,8 +187,8 @@ class RoutingTable:
         entry = self._entries.get(pair)
         if entry is None or dead_path not in entry.paths:
             return None
-        ranked = yen_k_shortest_paths(
-            topology, sender, receiver, entry.yen_cursor + 1
+        ranked = self._ranked_paths(
+            sender, receiver, topology, entry.yen_cursor + 1
         )
         replacement = None
         existing = {tuple(path) for path in entry.paths}
@@ -116,8 +206,9 @@ class RoutingTable:
 
     def refresh(self, topology: Adjacency) -> None:
         """Recompute every entry against an updated topology (§3.3)."""
+        self.invalidate_structural_cache()
         for (sender, receiver), entry in list(self._entries.items()):
-            paths = yen_k_shortest_paths(topology, sender, receiver, self.m)
+            paths = self._ranked_paths(sender, receiver, topology, self.m)
             entry.paths = paths
             entry.yen_cursor = len(paths)
 

@@ -1,0 +1,816 @@
+"""Compact integer-indexed topology: the fast-path routing substrate.
+
+Every router in this library plans over the *structural* topology (who has
+a channel with whom).  The mapping form — ``dict[NodeId, list[NodeId]]`` —
+is convenient but slow: each BFS step hashes node objects, and Yen's
+algorithm re-hashes entire path tuples for its candidate set.  At paper
+scale (thousands of nodes, Figs 6–13 average five seeded runs each) those
+hashes dominate wall-clock.
+
+:class:`CompactTopology` interns node ids into dense integers and stores
+the adjacency in CSR form (``indptr``/``indices`` flat arrays).  Each
+*slot* — a position in ``indices`` — names one directed edge, giving the
+path algorithms O(1) integer bookkeeping:
+
+* BFS runs over flat ``parent``/``seen`` arrays instead of dicts, with an
+  epoch-stamped scratch buffer so repeated searches (Yen's spur loop,
+  Algorithm 1's augmenting loop) allocate nothing;
+* Yen keys its candidate heap and removed-edge sets by slot ids;
+* the Edmonds–Karp residual matrix of Algorithm 1 becomes one flat float
+  list indexed by slot, with ``reverse_slot`` providing the O(1) reverse
+  edge needed for flow cancellation.
+
+A ``CompactTopology`` also implements the read-only ``Mapping`` protocol
+(node -> neighbor list), so it is a drop-in replacement anywhere the
+library accepts a plain adjacency mapping — routers that still index by
+node id keep working unchanged.
+
+Instances are immutable snapshots.  :meth:`ChannelGraph.compact
+<repro.network.graph.ChannelGraph.compact>` caches one per graph and
+rebuilds it when the graph's topology version counter moves (channel
+opened or closed); balance changes never invalidate it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.network.channel import NodeId
+
+__all__ = ["CompactTopology"]
+
+
+class CompactTopology(Mapping):
+    """Immutable CSR snapshot of a structural topology.
+
+    Parameters are the already-built arrays; use :meth:`from_adjacency` or
+    :meth:`ChannelGraph.compact` rather than constructing directly.
+
+    Attributes
+    ----------
+    nodes:
+        Dense index -> original node id (interning table).
+    indptr, indices:
+        CSR adjacency: the neighbors of node ``u`` are
+        ``indices[indptr[u]:indptr[u + 1]]``.  A position in ``indices``
+        is a *slot* — the id of one directed edge.
+    slot_tail:
+        ``slot_tail[slot]`` is the tail (source) node index of the slot;
+        ``indices[slot]`` is its head.
+    reverse_slot:
+        Slot of the opposite direction of the same channel, or ``-1``
+        when the adjacency has no reverse edge (directed mappings).
+    version:
+        The owning graph's topology version at build time (0 for
+        free-standing snapshots).
+    """
+
+    __slots__ = (
+        "nodes",
+        "indptr",
+        "indices",
+        "slot_tail",
+        "reverse_slot",
+        "version",
+        "_index",
+        "_slot_map",
+        "_nbr_idx",
+        "_neighbor_lists",
+        "_repr_keys",
+        "_seen",
+        "_parent",
+        "_parent_slot",
+        "_epoch",
+        "_seen_b",
+        "_parent_b",
+        "_dist_f",
+        "_dist_b",
+        "_symmetric",
+        "_flow_residual",
+        "_flow_stamp",
+        "_flow_epoch",
+    )
+
+    #: Below this many nodes the serial kernels win (bidirectional setup
+    #: overhead dominates) and, more importantly, unit-test-scale graphs
+    #: keep bit-identical tie-breaking with the mapping-based BFS.
+    BIDIRECTIONAL_MIN_NODES = 128
+
+    def __init__(
+        self,
+        nodes: list[NodeId],
+        indptr: list[int],
+        indices: list[int],
+        version: int = 0,
+    ) -> None:
+        self.nodes = nodes
+        self.indptr = indptr
+        self.indices = indices
+        self.version = version
+        self._index: dict[NodeId, int] = {
+            node: i for i, node in enumerate(nodes)
+        }
+        n = len(nodes)
+        tail = [0] * len(indices)
+        for u in range(n):
+            for slot in range(indptr[u], indptr[u + 1]):
+                tail[slot] = u
+        self.slot_tail = tail
+        slot_map: dict[tuple[int, int], int] = {}
+        for slot, head in enumerate(indices):
+            slot_map[(tail[slot], head)] = slot
+        self._slot_map = slot_map
+        self.reverse_slot = [
+            slot_map.get((indices[slot], tail[slot]), -1)
+            for slot in range(len(indices))
+        ]
+        self._neighbor_lists: dict[int, tuple[NodeId, ...]] = {}
+        self._repr_keys: list[str] | None = None
+        # Per-node neighbor index lists (CSR unpacked once): the BFS inner
+        # loops iterate these directly, which is markedly faster in Python
+        # than repeatedly slicing/indexing the flat ``indices`` array.
+        self._nbr_idx: list[list[int]] | None = None
+        # Epoch-stamped BFS scratch buffers (reused across searches).
+        self._seen = [0] * n
+        self._parent = [0] * n
+        self._parent_slot = [0] * n
+        self._epoch = 0
+        # Backward-search scratch, allocated on first bidirectional query.
+        self._seen_b: list[int] | None = None
+        self._parent_b: list[int] | None = None
+        self._dist_f: list[int] | None = None
+        self._dist_b: list[int] | None = None
+        self._symmetric: bool | None = None
+        # Per-slot flow scratch for Algorithm 1 (see flow_scratch()).
+        self._flow_residual: list[float] | None = None
+        self._flow_stamp: list[int] | None = None
+        self._flow_epoch = 0
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Mapping[NodeId, Sequence[NodeId]],
+        version: int = 0,
+    ) -> "CompactTopology":
+        """Build from a ``node -> neighbors`` mapping.
+
+        Node order follows the mapping's iteration order and neighbor
+        order is preserved, so BFS tie-breaking — and therefore every
+        path result — is identical to running the mapping-based
+        algorithms directly.  Neighbors that are not themselves keys
+        (dangling references) are interned with no outgoing edges.
+        """
+        if isinstance(adjacency, cls):
+            return adjacency
+        nodes: list[NodeId] = []
+        index: dict[NodeId, int] = {}
+        for node in adjacency:
+            index[node] = len(nodes)
+            nodes.append(node)
+        for neighbors in adjacency.values():
+            for v in neighbors:
+                if v not in index:
+                    index[v] = len(nodes)
+                    nodes.append(v)
+        indptr = [0] * (len(nodes) + 1)
+        indices: list[int] = []
+        for i, node in enumerate(nodes):
+            neighbors = adjacency.get(node, ())
+            indices.extend(index[v] for v in neighbors)
+            indptr[i + 1] = len(indices)
+        return cls(nodes, indptr, indices, version=version)
+
+    # ---------------------------------------------------- mapping protocol
+
+    def __getitem__(self, node: NodeId) -> tuple[NodeId, ...]:
+        # Tuples, not lists: the snapshot is shared by every router that
+        # called ``graph.compact()``, so handing out a cached mutable
+        # list would let one caller corrupt all the others' views.
+        i = self._index.get(node)
+        if i is None:
+            raise KeyError(node)
+        cached = self._neighbor_lists.get(i)
+        if cached is None:
+            nodes = self.nodes
+            cached = tuple(
+                nodes[v]
+                for v in self.indices[self.indptr[i] : self.indptr[i + 1]]
+            )
+            self._neighbor_lists[i] = cached
+        return cached
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._index
+
+    # ----------------------------------------------------------- accessors
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of directed edges (CSR slots)."""
+        return len(self.indices)
+
+    def index_of(self, node: NodeId) -> int | None:
+        """Dense index of ``node``, or ``None`` if unknown."""
+        return self._index.get(node)
+
+    def slot_of(self, u_idx: int, v_idx: int) -> int | None:
+        """Slot of directed edge ``u -> v`` (by dense index), or ``None``."""
+        return self._slot_map.get((u_idx, v_idx))
+
+    def degree_idx(self, i: int) -> int:
+        return self.indptr[i + 1] - self.indptr[i]
+
+    @property
+    def repr_keys(self) -> list[str]:
+        """Per-node ``repr`` strings — the deterministic Yen tie-break key."""
+        keys = self._repr_keys
+        if keys is None:
+            keys = [repr(node) for node in self.nodes]
+            self._repr_keys = keys
+        return keys
+
+    def path_nodes(self, idx_path: Sequence[int]) -> list[NodeId]:
+        """Translate a dense-index path back to node ids."""
+        nodes = self.nodes
+        return [nodes[i] for i in idx_path]
+
+    def path_slots(self, idx_path: Sequence[int]) -> list[int] | None:
+        """Slots traversed by an index path, or ``None`` on a non-edge."""
+        slots = []
+        slot_map = self._slot_map
+        for u, v in zip(idx_path, idx_path[1:]):
+            slot = slot_map.get((u, v))
+            if slot is None:
+                return None
+            slots.append(slot)
+        return slots
+
+    @property
+    def neighbor_idx(self) -> list[list[int]]:
+        """Per-node neighbor index lists (lazily unpacked from CSR)."""
+        nbrs = self._nbr_idx
+        if nbrs is None:
+            indptr = self.indptr
+            indices = self.indices
+            nbrs = [
+                indices[indptr[i] : indptr[i + 1]]
+                for i in range(len(self.nodes))
+            ]
+            self._nbr_idx = nbrs
+        return nbrs
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every directed edge has its reverse (undirected)."""
+        symmetric = self._symmetric
+        if symmetric is None:
+            symmetric = -1 not in self.reverse_slot
+            self._symmetric = symmetric
+        return symmetric
+
+    # -------------------------------------------------------- BFS kernels
+    #
+    # Four variants of the same search, specialized so the common cases
+    # pay no per-edge Python call: ``plain`` (no constraints),
+    # ``banned`` (edge-code set + blocked nodes — Yen's spur search and
+    # edge-disjoint selection), ``residual`` (flow-positive slots only —
+    # Algorithm 1), and the generic ``idx`` form taking an arbitrary
+    # ``slot_ok`` callback.  All four visit neighbors in CSR order, so
+    # they break ties identically to the mapping-based BFS.
+    #
+    # On symmetric graphs of at least ``BIDIRECTIONAL_MIN_NODES`` nodes
+    # the first three switch to *bidirectional* level-synchronous search:
+    # two frontiers grow from both endpoints and the completed level's
+    # minimum-total meeting node joins them.  On small-world topologies
+    # this visits O(sqrt) of the edges a one-sided sweep touches — the
+    # dominant speedup of this module.  A bidirectional search returns *a*
+    # fewest-hop path (deterministic, but its tie-break may differ from
+    # the one-sided order), which is why small graphs — unit-test scale,
+    # where exact equality with the mapping algorithms is pinned — stay
+    # on the serial kernels.
+
+    def _use_bidirectional(self) -> bool:
+        return (
+            len(self.nodes) >= self.BIDIRECTIONAL_MIN_NODES
+            and self.is_symmetric
+        )
+
+    def flow_scratch(self) -> tuple[list[float], list[int], int]:
+        """Per-slot ``(residual, stamp, epoch)`` scratch for Algorithm 1.
+
+        A slot is *probed* when ``stamp[slot] == epoch``; its residual
+        value is meaningful only then.  Bumping the epoch (each call)
+        invalidates the previous caller's state in O(1), so per-payment
+        path searches avoid allocating O(num_slots) buffers.  Not
+        reentrant: one flow computation per topology at a time.
+        """
+        if self._flow_residual is None:
+            self._flow_residual = [0.0] * len(self.indices)
+            self._flow_stamp = [0] * len(self.indices)
+        self._flow_epoch += 1
+        return self._flow_residual, self._flow_stamp, self._flow_epoch
+
+    def _bidir_scratch(self) -> tuple[list[int], list[int], list[int], list[int]]:
+        if self._seen_b is None:
+            n = len(self.nodes)
+            self._seen_b = [0] * n
+            self._parent_b = [0] * n
+            self._dist_f = [0] * n
+            self._dist_b = [0] * n
+        return self._seen_b, self._parent_b, self._dist_f, self._dist_b
+
+    def _join(self, src: int, dst: int, meet: int) -> list[int]:
+        """Splice forward and backward parent chains at ``meet``."""
+        parent_f = self._parent
+        parent_b = self._parent_b
+        path = [meet]
+        while path[-1] != src:
+            path.append(parent_f[path[-1]])
+        path.reverse()
+        node = meet
+        while node != dst:
+            node = parent_b[node]
+            path.append(node)
+        return path
+
+    def _bidir_plain(self, src: int, dst: int) -> list[int] | None:
+        nbrs = self.neighbor_idx
+        seen_f = self._seen
+        parent_f = self._parent
+        seen_b, parent_b, dist_f, dist_b = self._bidir_scratch()
+        self._epoch += 1
+        epoch = self._epoch
+        seen_f[src] = epoch
+        parent_f[src] = src
+        dist_f[src] = 0
+        seen_b[dst] = epoch
+        parent_b[dst] = dst
+        dist_b[dst] = 0
+        front_f = [src]
+        front_b = [dst]
+        while front_f and front_b:
+            best = -1
+            best_total = 0
+            if len(front_f) <= len(front_b):
+                nxt: list[int] = []
+                for u in front_f:
+                    depth = dist_f[u] + 1
+                    for v in nbrs[u]:
+                        if seen_f[v] == epoch:
+                            continue
+                        seen_f[v] = epoch
+                        parent_f[v] = u
+                        dist_f[v] = depth
+                        nxt.append(v)
+                        if seen_b[v] == epoch:
+                            total = depth + dist_b[v]
+                            if best < 0 or total < best_total:
+                                best = v
+                                best_total = total
+                front_f = nxt
+            else:
+                nxt = []
+                for u in front_b:
+                    depth = dist_b[u] + 1
+                    for v in nbrs[u]:
+                        if seen_b[v] == epoch:
+                            continue
+                        seen_b[v] = epoch
+                        parent_b[v] = u
+                        dist_b[v] = depth
+                        nxt.append(v)
+                        if seen_f[v] == epoch:
+                            total = depth + dist_f[v]
+                            if best < 0 or total < best_total:
+                                best = v
+                                best_total = total
+                front_b = nxt
+            if best >= 0:
+                return self._join(src, dst, best)
+        return None
+
+    def _bidir_banned(
+        self,
+        src: int,
+        dst: int,
+        banned: set[int],
+        blocked: bytearray | None,
+    ) -> list[int] | None:
+        nbrs = self.neighbor_idx
+        n = len(self.nodes)
+        seen_f = self._seen
+        parent_f = self._parent
+        seen_b, parent_b, dist_f, dist_b = self._bidir_scratch()
+        self._epoch += 1
+        epoch = self._epoch
+        seen_f[src] = epoch
+        parent_f[src] = src
+        dist_f[src] = 0
+        seen_b[dst] = epoch
+        parent_b[dst] = dst
+        dist_b[dst] = 0
+        front_f = [src]
+        front_b = [dst]
+        while front_f and front_b:
+            best = -1
+            best_total = 0
+            if len(front_f) <= len(front_b):
+                nxt: list[int] = []
+                for u in front_f:
+                    depth = dist_f[u] + 1
+                    base = u * n
+                    for v in nbrs[u]:
+                        if seen_f[v] == epoch:
+                            continue
+                        if blocked is not None and blocked[v]:
+                            continue
+                        if base + v in banned:
+                            continue
+                        seen_f[v] = epoch
+                        parent_f[v] = u
+                        dist_f[v] = depth
+                        nxt.append(v)
+                        if seen_b[v] == epoch:
+                            total = depth + dist_b[v]
+                            if best < 0 or total < best_total:
+                                best = v
+                                best_total = total
+                front_f = nxt
+            else:
+                nxt = []
+                for u in front_b:
+                    depth = dist_b[u] + 1
+                    for v in nbrs[u]:
+                        # The path edge is traversed forward as v -> u.
+                        if seen_b[v] == epoch:
+                            continue
+                        if blocked is not None and blocked[v]:
+                            continue
+                        if v * n + u in banned:
+                            continue
+                        seen_b[v] = epoch
+                        parent_b[v] = u
+                        dist_b[v] = depth
+                        nxt.append(v)
+                        if seen_f[v] == epoch:
+                            total = depth + dist_f[v]
+                            if best < 0 or total < best_total:
+                                best = v
+                                best_total = total
+                front_b = nxt
+            if best >= 0:
+                return self._join(src, dst, best)
+        return None
+
+    def _bidir_residual(
+        self,
+        src: int,
+        dst: int,
+        residual: list[float],
+        stamp: list[int],
+        flow_epoch: int,
+        eps: float,
+    ) -> tuple[list[int], list[int]] | None:
+        nbrs = self.neighbor_idx
+        indptr = self.indptr
+        reverse_slot = self.reverse_slot
+        seen_f = self._seen
+        parent_f = self._parent
+        seen_b, parent_b, dist_f, dist_b = self._bidir_scratch()
+        self._epoch += 1
+        epoch = self._epoch
+        seen_f[src] = epoch
+        parent_f[src] = src
+        dist_f[src] = 0
+        seen_b[dst] = epoch
+        parent_b[dst] = dst
+        dist_b[dst] = 0
+        front_f = [src]
+        front_b = [dst]
+        while front_f and front_b:
+            best = -1
+            best_total = 0
+            if len(front_f) <= len(front_b):
+                nxt: list[int] = []
+                for u in front_f:
+                    depth = dist_f[u] + 1
+                    slot = indptr[u]
+                    for v in nbrs[u]:
+                        this_slot = slot
+                        slot += 1
+                        if seen_f[v] == epoch:
+                            continue
+                        if (
+                            stamp[this_slot] == flow_epoch
+                            and residual[this_slot] <= eps
+                        ):
+                            continue
+                        seen_f[v] = epoch
+                        parent_f[v] = u
+                        dist_f[v] = depth
+                        nxt.append(v)
+                        if seen_b[v] == epoch:
+                            total = depth + dist_b[v]
+                            if best < 0 or total < best_total:
+                                best = v
+                                best_total = total
+                front_f = nxt
+            else:
+                nxt = []
+                for u in front_b:
+                    depth = dist_b[u] + 1
+                    slot = indptr[u]
+                    for v in nbrs[u]:
+                        # The flow direction is v -> u: check the reverse.
+                        path_slot = reverse_slot[slot]
+                        slot += 1
+                        if seen_b[v] == epoch:
+                            continue
+                        if (
+                            stamp[path_slot] == flow_epoch
+                            and residual[path_slot] <= eps
+                        ):
+                            continue
+                        seen_b[v] = epoch
+                        parent_b[v] = u
+                        dist_b[v] = depth
+                        nxt.append(v)
+                        if seen_f[v] == epoch:
+                            total = depth + dist_f[v]
+                            if best < 0 or total < best_total:
+                                best = v
+                                best_total = total
+                front_b = nxt
+            if best >= 0:
+                idx_path = self._join(src, dst, best)
+                slot_path = self.path_slots(idx_path)
+                assert slot_path is not None
+                return idx_path, slot_path
+        return None
+
+    def _trace(self, src: int, dst: int) -> list[int]:
+        parent = self._parent
+        idx_path = [dst]
+        node = dst
+        while node != src:
+            node = parent[node]
+            idx_path.append(node)
+        idx_path.reverse()
+        return idx_path
+
+    def shortest_path_plain(self, src: int, dst: int) -> list[int] | None:
+        """Unconstrained fewest-hop path over dense indices, or ``None``."""
+        if src == dst:
+            return [src]
+        if self._use_bidirectional():
+            return self._bidir_plain(src, dst)
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen
+        parent = self._parent
+        nbrs = self.neighbor_idx
+        seen[src] = epoch
+        queue = [src]
+        push = queue.append
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for v in nbrs[u]:
+                if seen[v] != epoch:
+                    seen[v] = epoch
+                    parent[v] = u
+                    if v == dst:
+                        return self._trace(src, dst)
+                    push(v)
+        return None
+
+    def shortest_path_banned(
+        self,
+        src: int,
+        dst: int,
+        banned: set[int],
+        blocked: bytearray | None = None,
+    ) -> list[int] | None:
+        """Fewest-hop path avoiding banned edges and blocked nodes.
+
+        ``banned`` holds directed-edge codes ``u * n + v`` (dense
+        indices) — an int-set membership test per edge, no tuple
+        allocation.  ``blocked`` marks nodes that must not be entered
+        (``src`` exempt).
+        """
+        if src == dst:
+            return [src]
+        if blocked is not None and blocked[dst]:
+            # The serial sweep would flood and fail; answer immediately,
+            # and keep the bidirectional kernel (which seeds a frontier
+            # *at* dst) honoring the same contract.
+            return None
+        if self._use_bidirectional():
+            if blocked is not None and blocked[src]:
+                # ``src`` is exempt from blocking, but the backward
+                # frontier must still be allowed to *enter* it to meet.
+                blocked = bytearray(blocked)
+                blocked[src] = 0
+            return self._bidir_banned(src, dst, banned, blocked)
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen
+        parent = self._parent
+        nbrs = self.neighbor_idx
+        n = len(self.nodes)
+        seen[src] = epoch
+        queue = [src]
+        push = queue.append
+        head = 0
+        if blocked is None:
+            while head < len(queue):
+                u = queue[head]
+                head += 1
+                base = u * n
+                for v in nbrs[u]:
+                    if seen[v] != epoch and base + v not in banned:
+                        seen[v] = epoch
+                        parent[v] = u
+                        if v == dst:
+                            return self._trace(src, dst)
+                        push(v)
+        else:
+            while head < len(queue):
+                u = queue[head]
+                head += 1
+                base = u * n
+                for v in nbrs[u]:
+                    if (
+                        seen[v] != epoch
+                        and not blocked[v]
+                        and base + v not in banned
+                    ):
+                        seen[v] = epoch
+                        parent[v] = u
+                        if v == dst:
+                            return self._trace(src, dst)
+                        push(v)
+        return None
+
+    def shortest_path_residual(
+        self,
+        src: int,
+        dst: int,
+        residual: list[float],
+        stamp: list[int],
+        flow_epoch: int,
+        eps: float,
+    ) -> tuple[list[int], list[int]] | None:
+        """Fewest-hop path over slots that still admit flow (Algorithm 1).
+
+        A slot is traversable when unprobed (``stamp[slot] != flow_epoch``
+        — assumed positive, §3.2) or when its probed residual exceeds
+        ``eps``.  Returns ``(index_path, slot_path)``.
+        """
+        if src == dst:
+            return [src], []
+        if self._use_bidirectional():
+            return self._bidir_residual(src, dst, residual, stamp, flow_epoch, eps)
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen
+        parent = self._parent
+        parent_slot = self._parent_slot
+        indptr = self.indptr
+        nbrs = self.neighbor_idx
+        seen[src] = epoch
+        queue = [src]
+        push = queue.append
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            slot = indptr[u]
+            for v in nbrs[u]:
+                this_slot = slot
+                slot += 1
+                if seen[v] == epoch:
+                    continue
+                if stamp[this_slot] == flow_epoch and residual[this_slot] <= eps:
+                    continue
+                seen[v] = epoch
+                parent[v] = u
+                parent_slot[v] = this_slot
+                if v == dst:
+                    idx_path = [dst]
+                    slot_path = []
+                    node = dst
+                    while node != src:
+                        slot_path.append(parent_slot[node])
+                        node = parent[node]
+                        idx_path.append(node)
+                    idx_path.reverse()
+                    slot_path.reverse()
+                    return idx_path, slot_path
+                push(v)
+        return None
+
+    def shortest_path_idx(
+        self,
+        src: int,
+        dst: int,
+        slot_ok=None,
+        blocked: bytearray | None = None,
+    ) -> tuple[list[int], list[int]] | None:
+        """Generic fewest-hop path with an arbitrary slot predicate.
+
+        Returns ``(index_path, slot_path)`` where ``slot_path[i]`` is the
+        slot of hop ``i``, or ``None`` when unreachable.  ``slot_ok(slot)``
+        (if given) must be true for a slot to be traversable; ``blocked``
+        is a per-node bytearray of forbidden nodes (``src`` exempt).
+        """
+        if src == dst:
+            return [src], []
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen
+        parent = self._parent
+        parent_slot = self._parent_slot
+        indptr = self.indptr
+        indices = self.indices
+        seen[src] = epoch
+        queue = [src]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for slot in range(indptr[u], indptr[u + 1]):
+                v = indices[slot]
+                if seen[v] == epoch:
+                    continue
+                if blocked is not None and blocked[v]:
+                    continue
+                if slot_ok is not None and not slot_ok(slot):
+                    continue
+                seen[v] = epoch
+                parent[v] = u
+                parent_slot[v] = slot
+                if v == dst:
+                    idx_path = [dst]
+                    slot_path = []
+                    node = dst
+                    while node != src:
+                        slot_path.append(parent_slot[node])
+                        node = parent[node]
+                        idx_path.append(node)
+                    idx_path.reverse()
+                    slot_path.reverse()
+                    return idx_path, slot_path
+                queue.append(v)
+        return None
+
+    def distances_idx(self, src: int, slot_ok=None) -> dict[int, int]:
+        """Hop distance from ``src`` to every reachable dense index."""
+        dist = {src: 0}
+        indptr = self.indptr
+        nbrs = self.neighbor_idx
+        queue = [src]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            base = dist[u] + 1
+            slot = indptr[u]
+            for v in nbrs[u]:
+                this_slot = slot
+                slot += 1
+                if v in dist:
+                    continue
+                if slot_ok is not None and not slot_ok(this_slot):
+                    continue
+                dist[v] = base
+                queue.append(v)
+        return dist
+
+    def tree_parents_idx(self, src: int) -> dict[int, int]:
+        """BFS spanning-tree parent pointers (root maps to itself)."""
+        parent = {src: src}
+        nbrs = self.neighbor_idx
+        queue = [src]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for v in nbrs[u]:
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        return parent

@@ -27,11 +27,29 @@ from repro.errors import (
     NoChannelError,
 )
 from repro.network.channel import Channel, NodeId
+from repro.network.compact import CompactTopology
 from repro.network.fees import FeePolicy, LinearFee, ZeroFee, sample_paper_fee
 
 _EPS = 1e-9
 
 Path = list[NodeId]
+
+
+def _canonical_direction(
+    u: NodeId, v: NodeId
+) -> tuple[tuple[NodeId, NodeId], float]:
+    """Order-robust canonical key for one directed hop.
+
+    Same-type endpoints compare natively; mixed-type pairs (an ``int``
+    node and a ``str`` node in one graph) would raise ``TypeError`` on
+    ``<=``, so fall back to comparing ``(type name, repr)`` — any total
+    order works as long as both directions of a channel agree on it.
+    """
+    try:
+        forward = (u, v) <= (v, u)
+    except TypeError:
+        forward = (type(u).__name__, repr(u)) <= (type(v).__name__, repr(v))
+    return ((u, v), 1.0) if forward else ((v, u), -1.0)
 
 
 @dataclass(frozen=True)
@@ -56,11 +74,18 @@ class ChannelGraph:
 
     def __init__(self) -> None:
         self._adj: dict[NodeId, dict[NodeId, Channel]] = {}
+        #: Bumped on every structural change (node/channel added or
+        #: removed); lets the cached :class:`CompactTopology` know when it
+        #: is stale.  Balance changes do not move it.
+        self._topology_version = 0
+        self._compact: CompactTopology | None = None
 
     # ------------------------------------------------------------ topology
 
     def add_node(self, node: NodeId) -> None:
-        self._adj.setdefault(node, {})
+        if node not in self._adj:
+            self._adj[node] = {}
+            self._topology_version += 1
 
     def add_channel(
         self,
@@ -86,6 +111,7 @@ class ChannelGraph:
         self.add_node(b)
         self._adj[a][b] = channel
         self._adj[b][a] = channel
+        self._topology_version += 1
         return channel
 
     def remove_channel(self, a: NodeId, b: NodeId) -> None:
@@ -94,6 +120,7 @@ class ChannelGraph:
             raise NoChannelError(a, b)
         del self._adj[a][b]
         del self._adj[b][a]
+        self._topology_version += 1
 
     def has_node(self, node: NodeId) -> bool:
         return node in self._adj
@@ -138,6 +165,30 @@ class ChannelGraph:
         """Structural topology: node -> neighbor list (stable order)."""
         return {node: list(nbrs) for node, nbrs in self._adj.items()}
 
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter of structural (channel open/close) changes."""
+        return self._topology_version
+
+    def compact(self) -> CompactTopology:
+        """Interned CSR snapshot of the structural topology (cached).
+
+        Rebuilt lazily whenever :attr:`topology_version` has moved since
+        the last call; node and neighbor order match :meth:`adjacency`.
+        Path results on either form are identical below the bidirectional
+        kernel threshold and equal-length (possibly different tie-breaks)
+        above it — see :mod:`repro.network.compact`.
+        """
+        cached = self._compact
+        if cached is not None and cached.version == self._topology_version:
+            return cached
+        snapshot = CompactTopology.from_adjacency(
+            {node: list(nbrs) for node, nbrs in self._adj.items()},
+            version=self._topology_version,
+        )
+        self._compact = snapshot
+        return snapshot
+
     # ------------------------------------------------------------ balances
 
     def balance(self, src: NodeId, dst: NodeId) -> float:
@@ -180,7 +231,7 @@ class ChannelGraph:
             for u, v in transfer.hops():
                 if not self.has_channel(u, v):
                     raise NoChannelError(u, v)
-                key, sign = ((u, v), 1.0) if (u, v) <= (v, u) else ((v, u), -1.0)
+                key, sign = _canonical_direction(u, v)
                 net[key] = net.get(key, 0.0) + sign * transfer.amount
 
         # Feasibility check against current balances, before touching state.

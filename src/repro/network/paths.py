@@ -2,24 +2,39 @@
 
 All routers in this library (Flash and the baselines) plan on the hop-count
 metric over the *structural* adjacency — balances are unknown until probed.
-The functions here therefore take a plain ``adjacency`` mapping
-(``node -> list of neighbors``) plus an optional ``edge_ok(u, v)`` predicate
-that path searches must respect (Flash uses it to encode the residual
-capacity matrix of Algorithm 1).
+The functions here therefore take either a plain ``adjacency`` mapping
+(``node -> list of neighbors``) or a prebuilt
+:class:`~repro.network.compact.CompactTopology`, plus an optional
+``edge_ok(u, v)`` predicate that path searches must respect (Flash uses it
+to encode the residual capacity matrix of Algorithm 1).
 
 Implemented from scratch:
 
 * breadth-first shortest path (the subroutine of Algorithm 1);
 * Yen's k-shortest loopless paths [36] (mice routing tables, §3.3);
 * k edge-disjoint shortest paths (Spider's path choice [30]).
+
+Passing a :class:`CompactTopology` routes every algorithm through the
+integer fast path (flat ``parent``/``seen`` arrays, slot-id edge sets, a
+candidate heap for Yen).  Mapping inputs keep the original dict-based BFS
+for single searches, while the multi-search algorithms (Yen,
+edge-disjoint) intern the mapping once up front and amortize the
+conversion over their many inner BFS runs.  Both code paths intern nodes
+in the same order, so below the bidirectional-search threshold
+(:attr:`CompactTopology.BIDIRECTIONAL_MIN_NODES`) results are bit-for-bit
+identical; at or above it the compact kernels may break ties between
+equal-length paths differently (lengths, reachability, and determinism
+are preserved).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from collections.abc import Callable, Mapping, Sequence
 
 from repro.network.channel import NodeId
+from repro.network.compact import CompactTopology
 
 Adjacency = Mapping[NodeId, Sequence[NodeId]]
 EdgePredicate = Callable[[NodeId, NodeId], bool]
@@ -36,6 +51,28 @@ def is_simple_path(path: Sequence[NodeId]) -> bool:
     return len(set(path)) == len(path)
 
 
+def key_repr(key: tuple[NodeId, ...]) -> tuple[str, ...]:
+    """Deterministic tie-break key that tolerates mixed node-id types."""
+    return tuple(repr(node) for node in key)
+
+
+def _slot_ok_from_edge_ok(ct: CompactTopology, edge_ok: EdgePredicate | None):
+    """Lift a node-level edge predicate to a slot predicate."""
+    if edge_ok is None:
+        return None
+    nodes = ct.nodes
+    tail = ct.slot_tail
+    head = ct.indices
+
+    def slot_ok(slot: int) -> bool:
+        return edge_ok(nodes[tail[slot]], nodes[head[slot]])
+
+    return slot_ok
+
+
+# ---------------------------------------------------------------------- BFS
+
+
 def bfs_shortest_path(
     adjacency: Adjacency,
     source: NodeId,
@@ -48,17 +85,43 @@ def bfs_shortest_path(
     ``edge_ok(u, v)`` (if given) must return True for an edge to be usable;
     ``blocked_nodes`` are never entered (``source`` is exempt).
     """
+    if isinstance(adjacency, CompactTopology):
+        ct = adjacency
+        src = ct.index_of(source)
+        dst = ct.index_of(target)
+        if src is None or dst is None:
+            return None
+        blocked = None
+        if blocked_nodes:
+            blocked = bytearray(ct.num_nodes)
+            for node in blocked_nodes:
+                i = ct.index_of(node)
+                if i is not None:
+                    blocked[i] = 1
+        if edge_ok is None:
+            if blocked is None:
+                idx_path = ct.shortest_path_plain(src, dst)
+            else:
+                idx_path = ct.shortest_path_banned(src, dst, set(), blocked)
+            return None if idx_path is None else ct.path_nodes(idx_path)
+        found = ct.shortest_path_idx(
+            src, dst, slot_ok=_slot_ok_from_edge_ok(ct, edge_ok), blocked=blocked
+        )
+        if found is None:
+            return None
+        return ct.path_nodes(found[0])
+
     if source == target:
         return [source]
     if source not in adjacency or target not in adjacency:
         return None
-    blocked = blocked_nodes or set()
+    blocked_set = blocked_nodes or set()
     parent: dict[NodeId, NodeId] = {source: source}
     queue: deque[NodeId] = deque([source])
     while queue:
         u = queue.popleft()
         for v in adjacency[u]:
-            if v in parent or v in blocked:
+            if v in parent or v in blocked_set:
                 continue
             if edge_ok is not None and not edge_ok(u, v):
                 continue
@@ -85,6 +148,17 @@ def bfs_distances(
     edge_ok: EdgePredicate | None = None,
 ) -> dict[NodeId, int]:
     """Hop distance from ``source`` to every reachable node."""
+    if isinstance(adjacency, CompactTopology):
+        ct = adjacency
+        src = ct.index_of(source)
+        if src is None:
+            return {}
+        dist_idx = ct.distances_idx(
+            src, slot_ok=_slot_ok_from_edge_ok(ct, edge_ok)
+        )
+        nodes = ct.nodes
+        return {nodes[i]: d for i, d in dist_idx.items()}
+
     dist = {source: 0}
     queue: deque[NodeId] = deque([source])
     while queue:
@@ -107,6 +181,17 @@ def bfs_tree_parents(
     Used by the SpeedyMurmurs embedding and by landmark routing.  The root
     maps to itself.
     """
+    if isinstance(adjacency, CompactTopology):
+        ct = adjacency
+        src = ct.index_of(source)
+        if src is None:
+            return {}
+        nodes = ct.nodes
+        return {
+            nodes[child]: nodes[par]
+            for child, par in ct.tree_parents_idx(src).items()
+        }
+
     parent = {source: source}
     queue: deque[NodeId] = deque([source])
     while queue:
@@ -118,64 +203,121 @@ def bfs_tree_parents(
     return parent
 
 
+# ---------------------------------------------------------------------- Yen
+
+
 def yen_k_shortest_paths(
     adjacency: Adjacency,
     source: NodeId,
     target: NodeId,
     k: int,
     edge_ok: EdgePredicate | None = None,
+    first: Path | None = None,
 ) -> list[Path]:
     """Yen's algorithm [36]: up to ``k`` loopless fewest-hop paths.
 
     Paths are returned in non-decreasing hop-count order.  Ties between
-    equal-length candidates are broken deterministically by node sequence,
-    so results are reproducible across runs.
+    equal-length candidates are broken deterministically by node sequence
+    (``repr`` order, robust to mixed node-id types), so results are
+    reproducible across runs.
+
+    ``first`` optionally supplies an already-known fewest-hop path from
+    ``source`` to ``target`` (e.g. read off a cached BFS tree); the
+    initial BFS is then skipped.  The caller is responsible for ``first``
+    really being a shortest path under ``edge_ok``.
     """
     if k <= 0:
         return []
-    first = bfs_shortest_path(adjacency, source, target, edge_ok=edge_ok)
-    if first is None:
+    if not isinstance(adjacency, CompactTopology) and (
+        source not in adjacency or target not in adjacency
+    ):
+        # Match bfs_shortest_path on mapping inputs: an endpoint that is
+        # only a dangling neighbor value, not a key, is unreachable.
         return []
-    paths: list[Path] = [first]
-    # Candidate set keyed by node tuple so duplicates are impossible.
-    candidates: dict[tuple[NodeId, ...], Path] = {}
-    while len(paths) < k:
-        prev = paths[-1]
-        for i in range(len(prev) - 1):
-            spur_node = prev[i]
-            root = prev[: i + 1]
-            removed_edges: set[tuple[NodeId, NodeId]] = set()
-            for accepted in paths:
-                if accepted[: i + 1] == root and len(accepted) > i + 1:
-                    removed_edges.add((accepted[i], accepted[i + 1]))
-            blocked_nodes = set(root[:-1])
+    ct = CompactTopology.from_adjacency(adjacency)
+    src = ct.index_of(source)
+    dst = ct.index_of(target)
+    if src is None or dst is None:
+        return []
+    base_ok = _slot_ok_from_edge_ok(ct, edge_ok)
+    n = ct.num_nodes
 
-            def spur_edge_ok(u: NodeId, v: NodeId) -> bool:
-                if (u, v) in removed_edges:
-                    return False
-                return edge_ok is None or edge_ok(u, v)
+    first_idx: list[int] | None = None
+    if first is not None and first[0] == source and first[-1] == target:
+        mapped = [ct.index_of(node) for node in first]
+        if None not in mapped and ct.path_slots(mapped) is not None:
+            first_idx = mapped  # type: ignore[assignment]
+    if first_idx is None:
+        if base_ok is None:
+            first_idx = ct.shortest_path_plain(src, dst)
+        else:
+            found = ct.shortest_path_idx(src, dst, slot_ok=base_ok)
+            first_idx = None if found is None else found[0]
+    if first_idx is None:
+        return []
 
-            spur = bfs_shortest_path(
-                adjacency,
-                spur_node,
-                target,
-                edge_ok=spur_edge_ok,
-                blocked_nodes=blocked_nodes,
+    reprs = ct.repr_keys
+    tail = ct.slot_tail
+    heads = ct.indices
+    # Accepted and candidate paths are tuples of dense indices; removed
+    # spur edges are ``u * n + v`` integer codes, so the spur BFS does one
+    # int-set membership test per edge instead of hashing node tuples.
+    accepted: list[tuple[int, ...]] = [tuple(first_idx)]
+    pushed: set[tuple[int, ...]] = {accepted[0]}
+    heap: list[tuple[int, tuple[str, ...], tuple[int, ...]]] = []
+
+    while len(accepted) < k:
+        prev_idx = accepted[-1]
+        for i in range(len(prev_idx) - 1):
+            root = prev_idx[: i + 1]
+            removed: set[int] = set()
+            for other_idx in accepted:
+                if len(other_idx) > i + 1 and other_idx[: i + 1] == root:
+                    removed.add(other_idx[i] * n + other_idx[i + 1])
+            blocked = bytearray(n)
+            for node in root[:-1]:
+                blocked[node] = 1
+
+            if base_ok is None:
+                spur = ct.shortest_path_banned(root[i], dst, removed, blocked)
+            else:
+                def spur_ok(
+                    slot: int, _removed=removed, _base=base_ok
+                ) -> bool:
+                    return (
+                        tail[slot] * n + heads[slot] not in _removed
+                        and _base(slot)
+                    )
+
+                found = ct.shortest_path_idx(
+                    root[i], dst, slot_ok=spur_ok, blocked=blocked
+                )
+                spur = None if found is None else found[0]
+            if spur is None:
+                continue
+            candidate = root[:-1] + tuple(spur)
+            if candidate in pushed:
+                continue
+            # ``blocked`` already guarantees loop-freedom: the spur path
+            # cannot revisit any root node other than the spur node itself.
+            pushed.add(candidate)
+            heapq.heappush(
+                heap,
+                (
+                    len(candidate),
+                    tuple(reprs[j] for j in candidate),
+                    candidate,
+                ),
             )
-            if spur is not None:
-                candidate = root[:-1] + spur
-                if is_simple_path(candidate):
-                    candidates.setdefault(tuple(candidate), candidate)
-        if not candidates:
+        if not heap:
             break
-        best_key = min(candidates, key=lambda key: (len(key), key_repr(key)))
-        paths.append(candidates.pop(best_key))
-    return paths
+        accepted.append(heapq.heappop(heap)[2])
+
+    nodes = ct.nodes
+    return [[nodes[j] for j in idx_path] for idx_path in accepted]
 
 
-def key_repr(key: tuple[NodeId, ...]) -> tuple[str, ...]:
-    """Deterministic tie-break key that tolerates mixed node-id types."""
-    return tuple(repr(node) for node in key)
+# ------------------------------------------------------------ edge-disjoint
 
 
 def edge_disjoint_shortest_paths(
@@ -192,18 +334,42 @@ def edge_disjoint_shortest_paths(
     selection is not guaranteed maximal but matches the behaviour the paper
     ascribes to Spider, including the Fig 5(b) pathology.
     """
-    used: set[tuple[NodeId, NodeId]] = set()
+    if k <= 0:
+        return []
+    if not isinstance(adjacency, CompactTopology) and (
+        source not in adjacency or target not in adjacency
+    ):
+        # Same endpoint contract as bfs_shortest_path / Yen above.
+        return []
+    ct = CompactTopology.from_adjacency(adjacency)
+    src = ct.index_of(source)
+    dst = ct.index_of(target)
+    if src is None or dst is None:
+        return []
+    base_ok = _slot_ok_from_edge_ok(ct, edge_ok)
+    n = ct.num_nodes
+    tail = ct.slot_tail
+    heads = ct.indices
+    # Used directed edges as ``u * n + v`` integer codes (see Yen above).
+    used: set[int] = set()
+
+    nodes = ct.nodes
     paths: list[Path] = []
-    for _ in range(max(0, k)):
+    for _ in range(k):
+        if base_ok is None:
+            idx_path = ct.shortest_path_banned(src, dst, used)
+        else:
+            def disjoint_ok(slot: int) -> bool:
+                return tail[slot] * n + heads[slot] not in used and base_ok(
+                    slot
+                )
 
-        def disjoint_ok(u: NodeId, v: NodeId) -> bool:
-            if (u, v) in used:
-                return False
-            return edge_ok is None or edge_ok(u, v)
-
-        path = bfs_shortest_path(adjacency, source, target, edge_ok=disjoint_ok)
-        if path is None:
+            found = ct.shortest_path_idx(src, dst, slot_ok=disjoint_ok)
+            idx_path = None if found is None else found[0]
+        if idx_path is None:
             break
-        paths.append(path)
-        used.update(path_edges(path))
+        paths.append([nodes[j] for j in idx_path])
+        used.update(
+            u * n + v for u, v in zip(idx_path, idx_path[1:])
+        )
     return paths

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import InsufficientBalanceError, NoChannelError, ProtocolError
 from repro.network.channel import NodeId
+from repro.network.compact import CompactTopology
 from repro.network.fees import FeePolicy, ZeroFee
 from repro.network.graph import ChannelGraph, Path
 
@@ -103,6 +104,15 @@ class NetworkView:
     def topology(self) -> dict[NodeId, list[NodeId]]:
         """Structural adjacency (no balances) — locally available (§3.1)."""
         return self._graph.adjacency()
+
+    def compact_topology(self) -> "CompactTopology":
+        """Interned CSR form of the structural topology (cached, §3.1).
+
+        A drop-in mapping replacement for :meth:`topology` that the path
+        algorithms run on without per-node hashing; see
+        :mod:`repro.network.compact`.
+        """
+        return self._graph.compact()
 
     def has_channel(self, a: NodeId, b: NodeId) -> bool:
         return self._graph.has_channel(a, b)

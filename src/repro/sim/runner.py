@@ -3,11 +3,23 @@
 The paper reports the average of 5 independent runs (§4.1).  A *scenario*
 here is a callable building (graph, workload) from a seed; the runner
 replays every scheme on identical scenarios and averages the metrics.
+
+Runs are independent by construction (each derives its RNGs from
+``base_seed`` and its run index alone), so ``run_comparison`` and
+``sweep`` accept an opt-in ``workers=N`` to fan the seeded runs out over
+``multiprocessing`` fork workers.  Scenario factories and router
+factories are typically closures, which do not pickle — the fork start
+method sidesteps that by inheriting them through process memory, and the
+per-run results (plain dataclasses of floats) pickle back.  Result order
+is by run index regardless of completion order, so parallel metrics are
+identical to serial ones.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import threading
 import zlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -36,35 +48,109 @@ class ComparisonResult:
         return list(self.metrics)
 
 
+def _single_run(
+    scenario: ScenarioFactory,
+    factories: dict[str, RouterFactory],
+    base_seed: int,
+    reference_mice_fraction: float,
+    run_index: int,
+) -> dict[str, SimulationResult]:
+    """One seeded replication: every scheme on the same graph/workload."""
+    scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
+    graph, workload = scenario(scenario_rng)
+    results: dict[str, SimulationResult] = {}
+    for name, factory in factories.items():
+        name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
+        router_rng = random.Random(base_seed + 7_919 * run_index + name_salt)
+        results[name] = run_simulation(
+            graph,
+            factory,
+            workload,
+            rng=router_rng,
+            reference_mice_fraction=reference_mice_fraction,
+        )
+    return results
+
+
+# Fork workers read their arguments from this module-level slot instead of
+# pickled task payloads: scenario/router factories are closures, which the
+# fork start method inherits for free but pickle rejects.  The lock covers
+# the set-then-fork window so concurrent run_comparison calls from
+# different threads cannot hand each other's state to their workers; once
+# the pool's processes exist the slot no longer matters to them.
+_FORK_STATE: tuple | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def _forked_run(run_index: int) -> dict[str, SimulationResult]:
+    assert _FORK_STATE is not None, "worker forked without runner state"
+    scenario, factories, base_seed, reference_mice_fraction = _FORK_STATE
+    return _single_run(
+        scenario, factories, base_seed, reference_mice_fraction, run_index
+    )
+
+
+def _run_parallel(
+    scenario: ScenarioFactory,
+    factories: dict[str, RouterFactory],
+    runs: int,
+    base_seed: int,
+    reference_mice_fraction: float,
+    workers: int,
+) -> list[dict[str, SimulationResult]] | None:
+    """Fan runs out over fork workers; ``None`` if fork is unavailable."""
+    global _FORK_STATE
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    with _FORK_LOCK:
+        _FORK_STATE = (scenario, factories, base_seed, reference_mice_fraction)
+        try:
+            pool = context.Pool(processes=min(workers, runs))
+        finally:
+            _FORK_STATE = None
+    with pool:
+        return pool.map(_forked_run, range(runs), chunksize=1)
+
+
 def run_comparison(
     scenario: ScenarioFactory,
     factories: dict[str, RouterFactory],
     runs: int = DEFAULT_RUNS,
     base_seed: int = 0,
     reference_mice_fraction: float = 0.9,
+    workers: int | None = None,
 ) -> ComparisonResult:
     """Average each scheme over ``runs`` seeded replications.
 
     Every scheme within a run sees the *same* graph copy and workload, so
-    differences are attributable to routing alone.
+    differences are attributable to routing alone.  ``workers=N`` (N > 1)
+    executes the seeded runs in N parallel processes; seeds, result order,
+    and therefore every averaged metric are identical to the serial path.
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
-    per_scheme: dict[str, list[SimulationResult]] = {name: [] for name in factories}
-    for run_index in range(runs):
-        scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
-        graph, workload = scenario(scenario_rng)
-        for name, factory in factories.items():
-            name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
-            router_rng = random.Random(base_seed + 7_919 * run_index + name_salt)
-            result = run_simulation(
-                graph,
-                factory,
-                workload,
-                rng=router_rng,
-                reference_mice_fraction=reference_mice_fraction,
+    if workers is not None and workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+
+    run_results: list[dict[str, SimulationResult]] | None = None
+    if workers is not None and workers > 1 and runs > 1:
+        run_results = _run_parallel(
+            scenario, factories, runs, base_seed, reference_mice_fraction, workers
+        )
+    if run_results is None:
+        run_results = [
+            _single_run(
+                scenario, factories, base_seed, reference_mice_fraction, run_index
             )
-            per_scheme[name].append(result)
+            for run_index in range(runs)
+        ]
+
+    per_scheme: dict[str, list[SimulationResult]] = {name: [] for name in factories}
+    for one_run in run_results:
+        for name in factories:
+            per_scheme[name].append(one_run[name])
     return ComparisonResult(
         metrics={
             name: AveragedMetrics.of(results)
@@ -79,16 +165,22 @@ def sweep(
     factories: dict[str, RouterFactory],
     runs: int = DEFAULT_RUNS,
     base_seed: int = 0,
+    workers: int | None = None,
 ) -> dict[str, list[AveragedMetrics]]:
     """Run a parameter sweep: one comparison per value.
 
     Returns ``{scheme: [AveragedMetrics per swept value]}`` — exactly the
     series shape of the paper's line plots (Figs 6, 7, 10, 11).
+    ``workers`` is forwarded to every :func:`run_comparison`.
     """
     series: dict[str, list[AveragedMetrics]] = {name: [] for name in factories}
     for value in values:
         comparison = run_comparison(
-            scenario_for(value), factories, runs=runs, base_seed=base_seed
+            scenario_for(value),
+            factories,
+            runs=runs,
+            base_seed=base_seed,
+            workers=workers,
         )
         for name in factories:
             series[name].append(comparison[name])

@@ -98,3 +98,77 @@ class TestMaintenance:
         table.lookup(0, 7, adjacency, now=2.0)
         assert len(table) == 2
         assert (0, 8) not in table
+
+
+class TestStructuralBfsLayer:
+    """The per-source BFS tree shared across (src, dst) pairs."""
+
+    def test_tree_shared_across_receivers(self, grid_graph):
+        table = RoutingTable(m=2)
+        adjacency = grid_graph.adjacency()
+        table.lookup(0, 8, adjacency)
+        table.lookup(0, 5, adjacency)
+        table.lookup(0, 7, adjacency)
+        # One tree for source 0, reused by every receiver.
+        assert list(table._source_layers) == [0]
+
+    def test_first_path_matches_bfs(self, grid_graph):
+        from repro.network.paths import bfs_shortest_path
+
+        table = RoutingTable(m=4)
+        adjacency = grid_graph.adjacency()
+        for receiver in (5, 7, 8):
+            entry = table.lookup(0, receiver, adjacency)
+            assert entry.paths[0] == bfs_shortest_path(adjacency, 0, receiver)
+
+    def test_refresh_invalidates_trees(self, grid_graph):
+        table = RoutingTable(m=2)
+        adjacency = grid_graph.adjacency()
+        table.lookup(0, 8, adjacency)
+        grid_graph.remove_channel(0, 1)
+        updated = grid_graph.adjacency()
+        table.refresh(updated)
+        entry = table.lookup(0, 8, updated)
+        assert all(path[1] == 3 for path in entry.paths)
+
+    def test_new_topology_object_recomputes_tree(self, grid_graph):
+        table = RoutingTable(m=1)
+        adjacency = grid_graph.adjacency()
+        table.lookup(0, 8, adjacency)
+        grid_graph.remove_channel(0, 1)
+        # A *fresh* topology object (new token) must not reuse the tree.
+        entry = table.lookup(0, 5, grid_graph.adjacency())
+        assert all(path[1] == 3 for path in entry.paths)
+
+    def test_compact_topology_token_uses_version(self, grid_graph):
+        table = RoutingTable(m=2)
+        compact = grid_graph.compact()
+        table.lookup(0, 8, compact)
+        cached_topology, token, _ = table._source_layers[0]
+        assert cached_topology is compact
+        assert token == (compact.version, compact.num_slots)
+
+    def test_lru_bound_interplay_with_structural_cache(self, grid_graph):
+        # Entry eviction (max_entries) must not corrupt the shared tree:
+        # a re-looked-up evicted pair recomputes the same paths.
+        table = RoutingTable(m=2, max_entries=2)
+        adjacency = grid_graph.adjacency()
+        original = list(table.lookup(0, 8, adjacency, now=0.0).paths)
+        table.lookup(0, 5, adjacency, now=1.0)
+        table.lookup(0, 7, adjacency, now=2.0)  # evicts (0, 8)
+        assert (0, 8) not in table
+        recomputed = table.lookup(0, 8, adjacency, now=3.0)
+        assert recomputed.paths == original
+        assert recomputed.misses == 1
+        assert len(table) == 2
+
+    def test_replacement_consistent_with_seeded_yen(self, grid_graph):
+        from repro.network.paths import yen_k_shortest_paths
+
+        table = RoutingTable(m=2)
+        adjacency = grid_graph.adjacency()
+        entry = table.lookup(0, 8, adjacency)
+        dead = entry.paths[0]
+        replacement = table.replace_path(0, 8, dead, adjacency)
+        ranked = yen_k_shortest_paths(adjacency, 0, 8, 3)
+        assert replacement == ranked[2]

@@ -174,3 +174,54 @@ class TestCopyAndInterop:
     def test_from_edges(self):
         graph = ChannelGraph.from_edges([("a", "b", 1.0, 2.0), ("b", "c", 3.0, 4.0)])
         assert graph.balance("b", "c") == 3.0
+
+
+class TestExecuteMixedNodeTypes:
+    """Netting must canonicalize hops even when node-id types mix.
+
+    Regression: the old canonical-direction trick ``(u, v) <= (v, u)``
+    raised ``TypeError`` when a graph held both ``int`` and ``str`` nodes.
+    """
+
+    @pytest.fixture
+    def mixed_graph(self):
+        graph = ChannelGraph()
+        graph.add_channel(0, "relay", 100.0, 100.0)
+        graph.add_channel("relay", 1, 100.0, 100.0)
+        return graph
+
+    def test_execute_crosses_type_boundary(self, mixed_graph):
+        mixed_graph.execute([Transfer((0, "relay", 1), 30.0)])
+        assert mixed_graph.balance(0, "relay") == pytest.approx(70.0)
+        assert mixed_graph.balance("relay", 1) == pytest.approx(70.0)
+
+    def test_opposite_flows_net_out(self, mixed_graph):
+        mixed_graph.execute(
+            [
+                Transfer((0, "relay"), 80.0),
+                Transfer(("relay", 0), 50.0),
+            ]
+        )
+        assert mixed_graph.balance(0, "relay") == pytest.approx(70.0)
+        assert mixed_graph.balance("relay", 0) == pytest.approx(130.0)
+
+    def test_netting_allows_jointly_feasible_mixed_flows(self, mixed_graph):
+        # 120 forward exceeds the 100 balance, but 30 backward nets it
+        # down to 90 — feasible only if netting canonicalizes correctly.
+        mixed_graph.execute(
+            [
+                Transfer((0, "relay"), 120.0),
+                Transfer(("relay", 0), 30.0),
+            ]
+        )
+        assert mixed_graph.balance(0, "relay") == pytest.approx(10.0)
+
+    def test_infeasible_mixed_flow_rolls_back(self, mixed_graph):
+        with pytest.raises(InsufficientBalanceError):
+            mixed_graph.execute(
+                [
+                    Transfer((0, "relay", 1), 150.0),
+                ]
+            )
+        assert mixed_graph.balance(0, "relay") == pytest.approx(100.0)
+        assert mixed_graph.balance("relay", 1) == pytest.approx(100.0)

@@ -124,3 +124,106 @@ class TestEdgeDisjoint:
     def test_first_is_shortest(self, grid_adj):
         paths = edge_disjoint_shortest_paths(grid_adj, 0, 8, 2)
         assert len(paths[0]) == 5
+
+
+class TestYenDeterminism:
+    """Pin the tie-break contract before/after the fast-path rewrite."""
+
+    def test_stable_across_repeated_runs(self, grid_adj):
+        runs = [yen_k_shortest_paths(grid_adj, 0, 8, 6) for _ in range(5)]
+        assert all(run == runs[0] for run in runs)
+
+    def test_equal_length_candidates_pop_in_repr_order(self):
+        # A 4-cycle: the two 0->2 paths have equal length; after the BFS
+        # first path, the second must be selected by repr tie-break.
+        adj = {0: [1, 3], 1: [0, 2], 2: [1, 3], 3: [2, 0]}
+        paths = yen_k_shortest_paths(adj, 0, 2, 2)
+        assert len(paths) == 2
+        assert sorted(len(p) for p in paths) == [3, 3]
+        assert paths[0] != paths[1]
+
+    def test_mixed_node_types_do_not_crash_tie_break(self):
+        adj = {
+            0: [1, "x"],
+            1: [0, 2],
+            "x": [0, 2],
+            2: [1, "x"],
+        }
+        paths = yen_k_shortest_paths(adj, 0, 2, 4)
+        assert len(paths) == 2
+        assert all(p[0] == 0 and p[-1] == 2 for p in paths)
+        assert paths == yen_k_shortest_paths(adj, 0, 2, 4)
+
+    def test_insertion_order_of_adjacency_does_not_leak_into_selection(self):
+        # Same graph, different key order: the heap tie-break is by node
+        # repr, so the *set* of returned paths is identical and the
+        # ordering of the equal-length tail is identical.
+        adj_a = {0: [1, 3], 1: [0, 2], 2: [1, 3], 3: [2, 0]}
+        adj_b = {3: [2, 0], 2: [1, 3], 1: [0, 2], 0: [1, 3]}
+        paths_a = yen_k_shortest_paths(adj_a, 0, 2, 4)
+        paths_b = yen_k_shortest_paths(adj_b, 0, 2, 4)
+        assert {tuple(p) for p in paths_a} == {tuple(p) for p in paths_b}
+        assert paths_a[1:] == paths_b[1:]
+
+    def test_first_seed_matches_unseeded_result(self, grid_adj):
+        unseeded = yen_k_shortest_paths(grid_adj, 0, 8, 6)
+        seeded = yen_k_shortest_paths(
+            grid_adj, 0, 8, 6, first=list(unseeded[0])
+        )
+        assert seeded == unseeded
+
+    def test_bogus_first_seed_is_ignored(self, grid_adj):
+        # A "first" that is not a path in the graph must not poison Yen.
+        bogus = [0, 8]
+        assert yen_k_shortest_paths(
+            grid_adj, 0, 8, 3, first=bogus
+        ) == yen_k_shortest_paths(grid_adj, 0, 8, 3)
+
+
+class TestEdgeDisjointEdgeOk:
+    def test_edge_ok_is_respected(self, grid_adj):
+        banned = {(0, 1), (1, 0)}
+
+        def edge_ok(u, v):
+            return (u, v) not in banned
+
+        paths = edge_disjoint_shortest_paths(grid_adj, 0, 8, 4, edge_ok=edge_ok)
+        assert paths  # 0-3-... survives
+        for path in paths:
+            for hop in path_edges(path):
+                assert hop not in banned
+
+    def test_edge_ok_can_exhaust_all_paths(self, grid_adj):
+        def edge_ok(u, v):
+            return u != 0 and v != 0  # seal the source
+
+        assert edge_disjoint_shortest_paths(
+            grid_adj, 0, 8, 4, edge_ok=edge_ok
+        ) == []
+
+    def test_disjointness_still_holds_under_edge_ok(self, grid_adj):
+        def edge_ok(u, v):
+            return (u, v) != (4, 8)
+
+        paths = edge_disjoint_shortest_paths(grid_adj, 0, 8, 4, edge_ok=edge_ok)
+        used = set()
+        for path in paths:
+            for hop in path_edges(path):
+                assert hop not in used
+                used.add(hop)
+
+
+class TestDanglingEndpointContract:
+    """Endpoints that are only neighbor values, not mapping keys, are
+    unreachable — uniformly across every path algorithm."""
+
+    def test_yen_dangling_target(self):
+        adj = {0: [1]}
+        assert yen_k_shortest_paths(adj, 0, 1, 3) == []
+
+    def test_edge_disjoint_dangling_target(self):
+        adj = {0: [1]}
+        assert edge_disjoint_shortest_paths(adj, 0, 1, 2) == []
+
+    def test_bfs_dangling_target(self):
+        assert bfs_shortest_path({0: [1]}, 0, 1) is None

@@ -66,3 +66,39 @@ class TestSweep:
         series = sweep([1.0, 20.0], scenario, FACTORIES, runs=2)
         flash = series["Flash"]
         assert flash[1].success_ratio >= flash[0].success_ratio - 0.05
+
+
+class TestParallelRuns:
+    def test_workers_metrics_identical_to_serial(self):
+        serial = run_comparison(scenario(), FACTORIES, runs=3, base_seed=7)
+        parallel = run_comparison(
+            scenario(), FACTORIES, runs=3, base_seed=7, workers=2
+        )
+        for name in FACTORIES:
+            assert serial[name] == parallel[name]
+
+    def test_workers_one_is_serial_path(self):
+        serial = run_comparison(scenario(), FACTORIES, runs=2, base_seed=1)
+        one = run_comparison(
+            scenario(), FACTORIES, runs=2, base_seed=1, workers=1
+        )
+        for name in FACTORIES:
+            assert serial[name] == one[name]
+
+    def test_more_workers_than_runs(self):
+        serial = run_comparison(scenario(), FACTORIES, runs=2, base_seed=2)
+        wide = run_comparison(
+            scenario(), FACTORIES, runs=2, base_seed=2, workers=8
+        )
+        for name in FACTORIES:
+            assert serial[name] == wide[name]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            run_comparison(scenario(), FACTORIES, runs=2, workers=0)
+
+    def test_sweep_forwards_workers(self):
+        serial = sweep([1.0, 5.0], scenario, FACTORIES, runs=2)
+        parallel = sweep([1.0, 5.0], scenario, FACTORIES, runs=2, workers=2)
+        for name in FACTORIES:
+            assert serial[name] == parallel[name]
