@@ -1,0 +1,36 @@
+"""Scenario catalog tour: list, build, override, and run by name.
+
+Run with ``PYTHONPATH=src python examples/scenario_catalog.py``.
+"""
+
+import random
+
+import repro.scenarios as scenarios
+from repro.sim import format_table, paper_benchmark_factories, run_comparison
+
+# 1. The catalog is queryable: every scenario names its ingredients.
+for scenario in scenarios.iter_scenarios():
+    print(f"{scenario.name:20s} {scenario.ingredients()}")
+print()
+
+# 2. A scenario name is all run_comparison needs.
+comparison = run_comparison(
+    "ripple-snapshot",
+    paper_benchmark_factories(),
+    runs=2,
+)
+
+# 3. Or build the factory yourself to override registered parameters.
+factory = scenarios.get_scenario("hotspot-drain").factory(
+    topology_overrides={"nodes": 80, "edges": 400},
+    workload_overrides={"transactions": 150, "hotspot_share": 0.8},
+)
+graph, workload = factory(random.Random(7))
+print(f"hotspot-drain override: {graph.num_nodes()} nodes, {len(workload)} txns")
+print()
+
+rows = [
+    [name, f"{100 * metrics.success_ratio:.1f}", f"{metrics.success_volume:.4g}"]
+    for name, metrics in comparison.metrics.items()
+]
+print(format_table(["scheme", "succ. ratio (%)", "succ. volume"], rows))

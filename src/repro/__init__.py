@@ -76,15 +76,25 @@ from repro.network import (
     testbed_topology,
 )
 from repro.network.dynamics import (
+    CHURN_PRESETS,
     ChannelEvent,
     ChannelEventType,
     ChurnModel,
+    ChurnPreset,
     GossipSchedule,
+    churn_events_for,
     run_dynamic_simulation,
+)
+from repro.scenarios import (
+    get_scenario,
+    load_snapshot,
+    register_scenario,
+    scenario_names,
 )
 from repro.sim import (
     flash_factory,
     paper_benchmark_factories,
+    resolve_scenario,
     run_comparison,
     run_simulation,
     shortest_path_factory,
@@ -96,7 +106,11 @@ from repro.traces import (
     Transaction,
     Workload,
     bitcoin_size_distribution,
+    generate_bursty_workload,
+    generate_diurnal_workload,
+    generate_hotspot_workload,
     generate_lightning_workload,
+    generate_mixed_workload,
     generate_ripple_workload,
     recurrence_summary,
     ripple_size_distribution,
@@ -105,6 +119,7 @@ from repro.traces import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CHURN_PRESETS",
     "Channel",
     "ChannelError",
     "ChannelEvent",
@@ -112,9 +127,11 @@ __all__ = [
     "ChannelGraph",
     "CompactTopology",
     "ChurnModel",
+    "ChurnPreset",
     "GossipSchedule",
     "Rebalancer",
     "channel_skew",
+    "churn_events_for",
     "run_dynamic_simulation",
     "FlashRouter",
     "InsufficientBalanceError",
@@ -145,16 +162,25 @@ __all__ = [
     "bitcoin_size_distribution",
     "find_elephant_paths",
     "flash_factory",
+    "generate_bursty_workload",
+    "generate_diurnal_workload",
+    "generate_hotspot_workload",
     "generate_lightning_workload",
+    "generate_mixed_workload",
     "generate_ripple_workload",
+    "get_scenario",
     "grid_topology",
     "lightning_like_topology",
     "line_topology",
+    "load_snapshot",
     "paper_benchmark_factories",
     "recurrence_summary",
+    "register_scenario",
+    "resolve_scenario",
     "ripple_like_topology",
     "ripple_size_distribution",
     "run_comparison",
+    "scenario_names",
     "run_simulation",
     "shortest_path_factory",
     "speedymurmurs_factory",

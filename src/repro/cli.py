@@ -10,11 +10,20 @@ Examples
     python -m repro figure fig6 --topology lightning
     python -m repro figure fig10
     python -m repro figure ablation-k
+    python -m repro list-scenarios --verbose
+    python -m repro run lightning-diurnal --runs 3 --workers 2
+    python -m repro run ripple-churn --dynamics-param preset=volatile
 
 ``figure`` accepts: fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11,
 fig12, fig13, ablation-k, ablation-order, ablation-paths.  All figures run
 at benchmark scale by default; pass ``--paper-scale`` for the full-size
 topologies (slow).
+
+``run`` executes any scenario registered in the
+:mod:`repro.scenarios` catalog (``list-scenarios`` prints it) and
+compares the four paper schemes on it; ``--topo-param``/
+``--workload-param``/``--dynamics-param KEY=VALUE`` override any
+registered parameter.
 """
 
 from __future__ import annotations
@@ -42,8 +51,14 @@ from repro.eval import (
     fig11_mice_paths_sweep,
     testbed_figure,
 )
+from repro.errors import ReproError
 from repro.eval.scenarios import ScenarioConfig, build_scenario
-from repro.sim import format_table, paper_benchmark_factories, run_simulation
+from repro.sim import (
+    format_table,
+    paper_benchmark_factories,
+    run_comparison,
+    run_simulation,
+)
 
 
 def _config(args) -> ScenarioConfig:
@@ -156,52 +171,281 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _parse_param_overrides(pairs: Sequence[str] | None) -> dict[str, str]:
+    """``KEY=VALUE`` strings -> dict (values coerced later by ParamSpec).
+
+    Malformed pairs raise :class:`repro.scenarios.ScenarioError`, so
+    ``_cmd_run`` reports them on its normal exit-2 error path.
+    """
+    from repro.scenarios import ScenarioError
+
+    overrides: dict[str, str] = {}
+    for pair in pairs or ():
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ScenarioError(f"expected KEY=VALUE, got {pair!r}")
+        overrides[key.strip()] = value
+    return overrides
+
+
+def _cmd_list_scenarios(args) -> int:
+    import repro.scenarios as scenarios
+
+    rows = []
+    for scenario in scenarios.iter_scenarios():
+        rows.append(
+            [
+                scenario.name,
+                scenario.ingredients(),
+                scenario.figure or "-",
+                scenario.description,
+            ]
+        )
+    print(format_table(["scenario", "ingredients", "paper figure", "description"], rows))
+    if not args.verbose:
+        print("\n(--verbose lists each scenario's parameters)")
+        return 0
+    for scenario in scenarios.iter_scenarios():
+        print(f"\n{scenario.name}:")
+        sections = [
+            ("topology", scenarios.TOPOLOGIES.get(scenario.topology)),
+            ("workload", scenarios.WORKLOADS.get(scenario.workload)),
+        ]
+        if scenario.dynamics:
+            sections.append(("dynamics", scenarios.DYNAMICS.get(scenario.dynamics)))
+        for role, entry in sections:
+            print(f"  {role} = {entry.name}: {entry.description}")
+            defaults = {
+                "topology": scenario.topology_params,
+                "workload": scenario.workload_params,
+                "dynamics": scenario.dynamics_params,
+            }[role]
+            for spec in entry.params:
+                default = defaults.get(spec.name, spec.default)
+                print(
+                    f"    --{role}-param {spec.name}={default!r}"
+                    f"  ({spec.kind.__name__}) {spec.help}"
+                )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import repro.scenarios as scenarios
+
+    try:
+        scenario = scenarios.get_scenario(args.name)
+        workload_overrides = _parse_param_overrides(args.workload_param)
+        if args.transactions is not None:
+            workload_overrides["transactions"] = args.transactions
+        factory = scenario.factory(
+            topology_overrides=_parse_param_overrides(args.topo_param),
+            workload_overrides=workload_overrides,
+            dynamics_overrides=_parse_param_overrides(args.dynamics_param),
+        )
+    except scenarios.ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"scenario={scenario.name} ({scenario.ingredients()}) "
+        f"runs={args.runs} seed={args.seed}"
+    )
+    try:
+        comparison = run_comparison(
+            factory,
+            paper_benchmark_factories(),
+            runs=args.runs,
+            base_seed=args.seed,
+            workers=args.workers,
+        )
+    except (ReproError, ValueError) as error:
+        # Overrides that pass type coercion can still violate a builder's
+        # own range checks (e.g. mean_burst_size=0.5), which only fire
+        # when the factory runs; report them on the same error path.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            name,
+            f"{100 * metrics.success_ratio:.1f}",
+            f"{metrics.success_volume:.4g}",
+            f"{metrics.probe_messages:.0f}",
+            f"{metrics.fee_to_volume_percent:.2f}",
+        ]
+        for name, metrics in comparison.metrics.items()
+    ]
+    print(
+        format_table(
+            [
+                "scheme",
+                "succ. ratio (%)",
+                "succ. volume",
+                "probe msgs",
+                "fee/volume (%)",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser.
+
+    Every subcommand carries ``help`` (one line for ``repro --help``) and
+    ``description`` (shown by ``repro <cmd> --help``); the scenario
+    subcommands pull both from the registry metadata so the CLI always
+    matches the catalog.
+    """
+    import repro.scenarios as scenarios
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Flash (CoNEXT 2019) reproduction experiments",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed (default 0)"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     analyze = subparsers.add_parser(
-        "analyze", help="the §2.2 measurement study (Figs 3 & 4)"
+        "analyze",
+        help="the §2.2 measurement study (Figs 3 & 4)",
+        description="Regenerate the trace measurement study: payment-size "
+        "CDFs (Fig 3) and the transaction recurrence analysis (Fig 4).",
     )
-    analyze.add_argument("--samples", type=int, default=40_000)
-    analyze.add_argument("--days", type=int, default=60)
+    analyze.add_argument(
+        "--samples", type=int, default=40_000, help="CDF sample count"
+    )
+    analyze.add_argument(
+        "--days", type=int, default=60, help="trace days for the recurrence study"
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     simulate = subparsers.add_parser(
-        "simulate", help="compare the four schemes on one scenario"
+        "simulate",
+        help="compare the four schemes on one topology",
+        description="Run Flash, Spider, SpeedyMurmurs, and Shortest Path on "
+        "a synthetic Ripple or Lightning topology and print their metrics.",
     )
     simulate.add_argument(
-        "--topology", choices=("ripple", "lightning"), default="ripple"
+        "--topology",
+        choices=("ripple", "lightning"),
+        default="ripple",
+        help="topology family",
     )
-    simulate.add_argument("--transactions", type=int, default=None)
-    simulate.add_argument("--scale", type=float, default=10.0)
-    simulate.add_argument("--paper-scale", action="store_true")
+    simulate.add_argument(
+        "--transactions", type=int, default=None, help="workload size"
+    )
+    simulate.add_argument(
+        "--scale", type=float, default=10.0, help="channel balance multiplier"
+    )
+    simulate.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full-size topologies (slow)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     testbed = subparsers.add_parser(
-        "testbed", help="the §5 protocol testbed comparison"
+        "testbed",
+        help="the §5 protocol testbed comparison",
+        description="Run the message-level 2PC/AMP protocol testbed on a "
+        "Watts-Strogatz network (Figs 12/13).",
     )
-    testbed.add_argument("--nodes", type=int, default=50)
-    testbed.add_argument("--transactions", type=int, default=1_000)
-    testbed.add_argument("--capacity-low", type=float, default=1_000.0)
-    testbed.add_argument("--capacity-high", type=float, default=1_500.0)
+    testbed.add_argument("--nodes", type=int, default=50, help="node count")
+    testbed.add_argument(
+        "--transactions", type=int, default=1_000, help="workload size"
+    )
+    testbed.add_argument(
+        "--capacity-low", type=float, default=1_000.0, help="capacity interval low"
+    )
+    testbed.add_argument(
+        "--capacity-high", type=float, default=1_500.0, help="capacity interval high"
+    )
     testbed.set_defaults(func=_cmd_testbed)
 
     figure = subparsers.add_parser(
-        "figure", help="regenerate one paper figure or ablation"
+        "figure",
+        help="regenerate one paper figure or ablation",
+        description="Regenerate one figure: fig3, fig4, fig6-fig13, "
+        "ablation-k, ablation-order, or ablation-paths.",
     )
-    figure.add_argument("name")
+    figure.add_argument("name", help="figure name (e.g. fig6, ablation-k)")
     figure.add_argument(
-        "--topology", choices=("ripple", "lightning"), default="ripple"
+        "--topology",
+        choices=("ripple", "lightning"),
+        default="ripple",
+        help="topology family",
     )
-    figure.add_argument("--transactions", type=int, default=None)
-    figure.add_argument("--runs", type=int, default=2)
-    figure.add_argument("--paper-scale", action="store_true")
+    figure.add_argument(
+        "--transactions", type=int, default=None, help="workload size"
+    )
+    figure.add_argument(
+        "--runs", type=int, default=2, help="seeded replications to average"
+    )
+    figure.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full-size topologies (slow)",
+    )
     figure.set_defaults(func=_cmd_figure)
+
+    list_scenarios = subparsers.add_parser(
+        "list-scenarios",
+        help=f"list the {len(scenarios.SCENARIOS)} registered scenarios",
+        description="Print the scenario catalog: name, ingredient "
+        "composition, the paper figure each reproduces, and (with "
+        "--verbose) every overridable parameter.",
+    )
+    list_scenarios.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="also list each scenario's parameters and defaults",
+    )
+    list_scenarios.set_defaults(func=_cmd_list_scenarios)
+
+    run = subparsers.add_parser(
+        "run",
+        help="run one registered scenario end to end",
+        description="Compare the four paper schemes on a registered "
+        "scenario. Scenarios: " + ", ".join(scenarios.scenario_names()) + ".",
+    )
+    run.add_argument("name", help="a scenario name from list-scenarios")
+    run.add_argument(
+        "--runs", type=int, default=2, help="seeded replications to average"
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallelize the seeded runs over N fork workers",
+    )
+    run.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="shorthand for --workload-param transactions=N",
+    )
+    run.add_argument(
+        "--topo-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a topology parameter (repeatable)",
+    )
+    run.add_argument(
+        "--workload-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a workload parameter (repeatable)",
+    )
+    run.add_argument(
+        "--dynamics-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a dynamics parameter (repeatable)",
+    )
+    run.set_defaults(func=_cmd_run)
 
     return parser
 

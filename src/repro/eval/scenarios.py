@@ -5,6 +5,14 @@ configurable scale.  The paper's full-scale settings (1,870-node Ripple,
 2,511-node Lightning, 2,000 transactions) are the defaults of
 :class:`ScenarioConfig`; the benchmark harness dials them down so every
 figure regenerates in minutes on a laptop.
+
+This module serves the per-figure drivers, which sweep
+:class:`ScenarioConfig` fields (capacity scale, transaction count)
+programmatically.  For named, CLI-reachable scenarios — including
+snapshot-loaded topologies, the synthetic stress workloads, and churn —
+use the registry catalog in :mod:`repro.scenarios` instead
+(``repro list-scenarios`` / ``repro run``); ``docs/SCENARIOS.md`` maps
+each registered name to the paper figure it reproduces.
 """
 
 from __future__ import annotations

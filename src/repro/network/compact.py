@@ -230,6 +230,7 @@ class CompactTopology(Mapping):
         return self._slot_map.get((u_idx, v_idx))
 
     def degree_idx(self, i: int) -> int:
+        """Out-degree of the node at dense index ``i``."""
         return self.indptr[i + 1] - self.indptr[i]
 
     @property

@@ -24,6 +24,7 @@ with topology events by timestamp.
 from __future__ import annotations
 
 import enum
+import math
 import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -125,6 +126,91 @@ class ChurnModel:
                     ChannelEvent(time=now, kind=ChannelEventType.CLOSE, a=a, b=b)
                 )
         return events
+
+
+@dataclass(frozen=True)
+class ChurnPreset:
+    """A named churn intensity: event rates plus new-channel funding.
+
+    Presets make topology dynamics a one-word scenario ingredient (see
+    :data:`CHURN_PRESETS` and the ``repro.scenarios`` catalog) instead of
+    a hand-tuned ``ChurnModel`` per experiment.
+    """
+
+    name: str
+    description: str
+    opens_per_hour: float
+    closes_per_hour: float
+    #: Median total funds of newly opened channels (log-normal, sigma 1.0).
+    capacity_median: float = 500.0
+
+    def model(self, graph: ChannelGraph, rng: random.Random) -> ChurnModel:
+        """Instantiate the preset as a :class:`ChurnModel` over ``graph``."""
+        mu = math.log(self.capacity_median)
+
+        def capacity(r: random.Random) -> float:
+            return math.exp(r.gauss(mu, 1.0))
+
+        return ChurnModel(
+            graph,
+            rng,
+            opens_per_hour=self.opens_per_hour,
+            closes_per_hour=self.closes_per_hour,
+            capacity=capacity,
+        )
+
+
+#: Named churn intensities, calibrated to the paper's "hourly or daily
+#: scale" assumption (§3.1): ``calm`` is the paper's stable regime,
+#: ``hourly`` matches its stated change cadence, ``volatile`` stresses
+#: routing-table refresh well beyond it.
+CHURN_PRESETS: dict[str, ChurnPreset] = {
+    preset.name: preset
+    for preset in (
+        ChurnPreset(
+            name="calm",
+            description="a few changes per day — the paper's stable regime",
+            opens_per_hour=0.1,
+            closes_per_hour=0.1,
+        ),
+        ChurnPreset(
+            name="hourly",
+            description="about one open and one close per hour (§3.1 cadence)",
+            opens_per_hour=1.0,
+            closes_per_hour=1.0,
+        ),
+        ChurnPreset(
+            name="volatile",
+            description="tens of changes per hour — stress for table refresh",
+            opens_per_hour=30.0,
+            closes_per_hour=30.0,
+        ),
+    )
+}
+
+
+def churn_events_for(
+    graph: ChannelGraph,
+    rng: random.Random,
+    duration_seconds: float,
+    preset: str | ChurnPreset = "hourly",
+) -> list[ChannelEvent]:
+    """Sample a churn event stream for ``graph`` from a named preset.
+
+    ``preset`` is a :data:`CHURN_PRESETS` key or a :class:`ChurnPreset`;
+    the returned events are time-ordered over ``[0, duration_seconds)``
+    and ready for :class:`GossipSchedule` /
+    :func:`run_dynamic_simulation`.
+    """
+    if isinstance(preset, str):
+        try:
+            preset = CHURN_PRESETS[preset]
+        except KeyError:
+            known = ", ".join(sorted(CHURN_PRESETS))
+            raise TopologyError(
+                f"unknown churn preset {preset!r} (known: {known})"
+            ) from None
+    return preset.model(graph, rng).generate(duration_seconds)
 
 
 @dataclass

@@ -272,7 +272,15 @@ class ChannelGraph:
             channel.fee_ba = sample_paper_fee(rng)
 
     def copy(self) -> ChannelGraph:
-        """Deep copy of topology, balances, and fee policies."""
+        """Deep copy of topology, balances, and fee policies.
+
+        The compact-topology cache deliberately does **not** carry over:
+        the clone replays channels node-major, so its adjacency order —
+        and therefore BFS/Yen tie-breaking — can differ from the
+        original's insertion order.  The clone re-interns lazily on
+        first :meth:`compact` call, keeping its snapshot consistent with
+        its own adjacency regardless of the source's cache warmth.
+        """
         clone = ChannelGraph()
         for node in self._adj:
             clone.add_node(node)

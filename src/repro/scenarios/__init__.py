@@ -1,0 +1,63 @@
+"""Scenario subsystem: registry-driven (topology x workload x dynamics).
+
+``import repro.scenarios`` loads the built-in catalog; after that,
+
+>>> import repro.scenarios as scenarios
+>>> factory = scenarios.get_scenario("ripple-default").factory()
+
+yields a seeded builder accepted by every runner entry point — or pass
+the scenario *name* straight to
+:func:`repro.sim.runner.run_comparison`.  See ``docs/SCENARIOS.md`` for
+the catalog and ``docs/ARCHITECTURE.md`` for how the pieces fit.
+"""
+
+from repro.scenarios.loaders import (
+    SnapshotError,
+    load_snapshot,
+    load_snapshot_csv,
+    load_snapshot_json,
+)
+from repro.scenarios.registry import (
+    DYNAMICS,
+    SCENARIOS,
+    TOPOLOGIES,
+    WORKLOADS,
+    ParamSpec,
+    Registry,
+    RegistryEntry,
+    Scenario,
+    ScenarioError,
+    get_scenario,
+    iter_scenarios,
+    register_dynamics,
+    register_scenario,
+    register_topology,
+    register_workload,
+    scenario_names,
+)
+
+# Importing the catalog registers the built-in ingredients + scenarios.
+from repro.scenarios import catalog as _catalog  # noqa: E402  (import for effect)
+
+__all__ = [
+    "DYNAMICS",
+    "ParamSpec",
+    "Registry",
+    "RegistryEntry",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioError",
+    "SnapshotError",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "get_scenario",
+    "iter_scenarios",
+    "load_snapshot",
+    "load_snapshot_csv",
+    "load_snapshot_json",
+    "register_dynamics",
+    "register_scenario",
+    "register_topology",
+    "register_workload",
+    "scenario_names",
+]

@@ -1,0 +1,468 @@
+"""Built-in scenario catalog: named topologies, workloads, dynamics.
+
+Importing :mod:`repro.scenarios` loads this module, which populates the
+registries of :mod:`repro.scenarios.registry` with:
+
+* **topology sources** — the synthetic Ripple/Lightning/testbed
+  generators plus the bundled snapshot loaders (a 96-node Ripple-style
+  CSV and a 96-node Lightning-style JSON under ``scenarios/data/``);
+* **workload generators** — the two trace-calibrated workloads of §4.1
+  and the synthetic stress shapes of :mod:`repro.traces.synthetic`;
+* **dynamics models** — churn presets from
+  :mod:`repro.network.dynamics`;
+* **scenarios** — the compositions listed by ``repro list-scenarios``
+  and documented in ``docs/SCENARIOS.md``.
+
+Every builder here is a thin, documented adapter from the registry
+calling convention (``rng`` first, keyword parameters from
+:class:`~repro.scenarios.registry.ParamSpec` binding) onto the
+underlying library function.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.network.channel import NodeId
+from repro.network.dynamics import CHURN_PRESETS, ChannelEvent, ChurnPreset, churn_events_for
+from repro.network.graph import ChannelGraph
+from repro.network.topology import (
+    lightning_like_topology,
+    ripple_like_topology,
+    testbed_topology,
+)
+from repro.scenarios.loaders import load_snapshot
+from repro.scenarios.registry import (
+    ParamSpec,
+    register_dynamics,
+    register_scenario,
+    register_topology,
+    register_workload,
+)
+from repro.traces.generators import (
+    generate_lightning_workload,
+    generate_ripple_workload,
+)
+from repro.traces.synthetic import (
+    generate_bursty_workload,
+    generate_diurnal_workload,
+    generate_hotspot_workload,
+    generate_mixed_workload,
+)
+from repro.traces.workload import Workload
+
+#: Bundled snapshot files shipped with the package.
+DATA_DIR = Path(__file__).parent / "data"
+RIPPLE_SNAPSHOT_CSV = DATA_DIR / "ripple_snapshot.csv"
+LIGHTNING_SNAPSHOT_JSON = DATA_DIR / "lightning_snapshot.json"
+
+_TRANSACTIONS = ParamSpec(
+    "transactions", int, 300, "number of payments to generate"
+)
+
+
+# --------------------------------------------------------------------------
+# Topology sources
+# --------------------------------------------------------------------------
+
+
+def _build_ripple_synthetic(
+    rng: random.Random, nodes: int, edges: int, capacity_median: float
+) -> ChannelGraph:
+    """Ripple-like synthetic topology (preferential attachment, evened funds)."""
+    return ripple_like_topology(
+        rng, n_nodes=nodes, n_edges=edges, capacity_median=capacity_median
+    )
+
+
+def _build_lightning_synthetic(
+    rng: random.Random, nodes: int, edges: int, capacity_median: float
+) -> ChannelGraph:
+    """Lightning-like synthetic topology (skewed degrees and fund splits)."""
+    return lightning_like_topology(
+        rng, n_nodes=nodes, n_edges=edges, capacity_median=capacity_median
+    )
+
+
+def _build_testbed_smallworld(
+    rng: random.Random, nodes: int, ring_neighbors: int, rewire_beta: float
+) -> ChannelGraph:
+    """The §5.2 Watts–Strogatz testbed network (half one-sided channels)."""
+    return testbed_topology(
+        rng, n_nodes=nodes, ring_neighbors=ring_neighbors, rewire_beta=rewire_beta
+    )
+
+
+def _load_snapshot_topology(
+    rng: random.Random, path: str, scale: float
+) -> ChannelGraph:
+    """Load a CSV/JSON snapshot; ``scale`` multiplies all balances.
+
+    ``rng`` is unused (snapshots are deterministic) but kept for the
+    uniform topology-builder signature.
+    """
+    graph = load_snapshot(path)
+    if scale != 1.0:
+        graph.scale_balances(scale)
+    return graph
+
+
+register_topology(
+    "ripple-synthetic",
+    _build_ripple_synthetic,
+    "Ripple-like generator: heavy-tailed degrees, evened funds (USD)",
+    params=(
+        ParamSpec("nodes", int, 150, "node count"),
+        ParamSpec("edges", int, 1_400, "edge count (sets average degree)"),
+        ParamSpec(
+            "capacity_median", float, 250.0, "median directional balance (USD)"
+        ),
+    ),
+)
+
+register_topology(
+    "lightning-synthetic",
+    _build_lightning_synthetic,
+    "Lightning-like generator: heavy-tailed degrees, skewed splits (satoshi)",
+    params=(
+        ParamSpec("nodes", int, 150, "node count"),
+        ParamSpec("edges", int, 2_150, "channel count (sets average degree)"),
+        ParamSpec(
+            "capacity_median", float, 500_000.0, "median channel capacity (sat)"
+        ),
+    ),
+)
+
+register_topology(
+    "testbed-smallworld",
+    _build_testbed_smallworld,
+    "Watts-Strogatz testbed network of §5.2 (half the channels one-sided)",
+    params=(
+        ParamSpec("nodes", int, 50, "node count"),
+        ParamSpec("ring_neighbors", int, 6, "ring degree k (even)"),
+        ParamSpec("rewire_beta", float, 0.3, "rewiring probability"),
+    ),
+)
+
+register_topology(
+    "ripple-snapshot",
+    _load_snapshot_topology,
+    "CSV snapshot loader, Ripple-style per-direction balances "
+    "(bundled 96-node crawl by default)",
+    params=(
+        ParamSpec("path", str, str(RIPPLE_SNAPSHOT_CSV), "snapshot file path"),
+        ParamSpec("scale", float, 1.0, "multiply all balances"),
+    ),
+)
+
+register_topology(
+    "lightning-snapshot",
+    _load_snapshot_topology,
+    "JSON snapshot loader, Lightning-style capacities split evenly "
+    "(bundled 96-node snapshot by default)",
+    params=(
+        ParamSpec(
+            "path", str, str(LIGHTNING_SNAPSHOT_JSON), "snapshot file path"
+        ),
+        ParamSpec("scale", float, 1.0, "multiply all balances"),
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Workload generators
+# --------------------------------------------------------------------------
+
+
+def _build_ripple_trace(
+    rng: random.Random, nodes: Sequence[NodeId], transactions: int
+) -> Workload:
+    """The §4.1 Ripple workload: calibrated USD sizes, recurrent pairs."""
+    return generate_ripple_workload(rng, nodes, transactions)
+
+
+def _build_lightning_trace(
+    rng: random.Random, nodes: Sequence[NodeId], transactions: int
+) -> Workload:
+    """The §4.1 Lightning workload: Bitcoin-calibrated satoshi sizes."""
+    return generate_lightning_workload(rng, nodes, transactions)
+
+
+def _build_bursty(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    transactions: int,
+    bursts_per_day: float,
+    mean_burst_size: float,
+    intra_burst_gap: float,
+) -> Workload:
+    """Compound-Poisson payment bursts on recurring pairs."""
+    return generate_bursty_workload(
+        rng,
+        nodes,
+        transactions,
+        bursts_per_day=bursts_per_day,
+        mean_burst_size=mean_burst_size,
+        intra_burst_gap=intra_burst_gap,
+    )
+
+
+def _build_diurnal(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    transactions: int,
+    peak_to_trough: float,
+    peak_hour: float,
+) -> Workload:
+    """Sinusoidal daily arrival-rate profile (inhomogeneous Poisson)."""
+    return generate_diurnal_workload(
+        rng,
+        nodes,
+        transactions,
+        peak_to_trough=peak_to_trough,
+        peak_hour=peak_hour,
+    )
+
+
+def _build_hotspot(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    transactions: int,
+    hotspot_count: int,
+    hotspot_share: float,
+) -> Workload:
+    """Many-to-one drain into a few hotspot receivers."""
+    return generate_hotspot_workload(
+        rng,
+        nodes,
+        transactions,
+        hotspot_count=hotspot_count,
+        hotspot_share=hotspot_share,
+    )
+
+
+def _build_mice_elephant(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    transactions: int,
+    mice_fraction: float,
+    mice_median: float,
+    elephant_median: float,
+) -> Workload:
+    """Explicit mice-elephant mixture with a configurable split."""
+    return generate_mixed_workload(
+        rng,
+        nodes,
+        transactions,
+        mice_fraction=mice_fraction,
+        mice_median=mice_median,
+        elephant_median=elephant_median,
+    )
+
+
+register_workload(
+    "ripple-trace",
+    _build_ripple_trace,
+    "paper's Ripple workload: calibrated USD sizes, recurrent pairs (§4.1)",
+    params=(_TRANSACTIONS,),
+)
+
+register_workload(
+    "lightning-trace",
+    _build_lightning_trace,
+    "paper's Lightning workload: Bitcoin-calibrated satoshi sizes (§4.1)",
+    params=(_TRANSACTIONS,),
+)
+
+register_workload(
+    "bursty",
+    _build_bursty,
+    "compound-Poisson bursts: sessions of rapid payments on one pair",
+    params=(
+        _TRANSACTIONS,
+        ParamSpec("bursts_per_day", float, 400.0, "session arrival rate"),
+        ParamSpec("mean_burst_size", float, 5.0, "mean payments per session"),
+        ParamSpec(
+            "intra_burst_gap", float, 2.0, "mean seconds between burst payments"
+        ),
+    ),
+)
+
+register_workload(
+    "diurnal",
+    _build_diurnal,
+    "sinusoidal daily rhythm: rush-hour peaks, quiet recovery windows",
+    params=(
+        _TRANSACTIONS,
+        ParamSpec("peak_to_trough", float, 4.0, "peak/trough rate ratio"),
+        ParamSpec("peak_hour", float, 14.0, "hour of day with peak rate"),
+    ),
+)
+
+register_workload(
+    "hotspot",
+    _build_hotspot,
+    "hotspot receivers: a configurable share of payments drains into "
+    "a few merchant nodes",
+    params=(
+        _TRANSACTIONS,
+        ParamSpec("hotspot_count", int, 4, "number of hotspot receivers"),
+        ParamSpec(
+            "hotspot_share", float, 0.6, "fraction of payments redirected"
+        ),
+    ),
+)
+
+register_workload(
+    "mice-elephant",
+    _build_mice_elephant,
+    "explicit mice-elephant mixture with a configurable split and size gap",
+    params=(
+        _TRANSACTIONS,
+        ParamSpec("mice_fraction", float, 0.9, "fraction of payments that are mice"),
+        ParamSpec("mice_median", float, 5.0, "median mouse size"),
+        ParamSpec("elephant_median", float, 2_000.0, "median elephant size"),
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Dynamics models
+# --------------------------------------------------------------------------
+
+
+def _build_churn_preset(
+    rng: random.Random, graph: ChannelGraph, duration_seconds: float, preset: str
+) -> list[ChannelEvent]:
+    """Churn events from a named :data:`CHURN_PRESETS` intensity."""
+    return churn_events_for(graph, rng, duration_seconds, preset=preset)
+
+
+def _build_churn_custom(
+    rng: random.Random,
+    graph: ChannelGraph,
+    duration_seconds: float,
+    opens_per_hour: float,
+    closes_per_hour: float,
+    capacity_median: float,
+) -> list[ChannelEvent]:
+    """Churn events from explicit open/close rates."""
+    preset = ChurnPreset(
+        name="custom",
+        description="explicit rates",
+        opens_per_hour=opens_per_hour,
+        closes_per_hour=closes_per_hour,
+        capacity_median=capacity_median,
+    )
+    return churn_events_for(graph, rng, duration_seconds, preset=preset)
+
+
+register_dynamics(
+    "churn",
+    _build_churn_preset,
+    "Poisson open/close churn from a named preset "
+    f"({', '.join(sorted(CHURN_PRESETS))}); gossip-refreshed routers",
+    params=(
+        ParamSpec("preset", str, "hourly", "one of the CHURN_PRESETS names"),
+    ),
+)
+
+register_dynamics(
+    "churn-custom",
+    _build_churn_custom,
+    "Poisson open/close churn with explicit hourly rates",
+    params=(
+        ParamSpec("opens_per_hour", float, 1.0, "channel-open rate"),
+        ParamSpec("closes_per_hour", float, 1.0, "channel-close rate"),
+        ParamSpec(
+            "capacity_median", float, 500.0, "median funds of new channels"
+        ),
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Scenarios
+# --------------------------------------------------------------------------
+
+register_scenario(
+    "ripple-default",
+    "benchmark-scale Ripple network under the paper's trace workload",
+    topology="ripple-synthetic",
+    workload="ripple-trace",
+    figure="Figs 6a/7a/8 (benchmark scale)",
+)
+
+register_scenario(
+    "lightning-default",
+    "benchmark-scale Lightning network under the paper's trace workload",
+    topology="lightning-synthetic",
+    workload="lightning-trace",
+    figure="Figs 6b/7b (benchmark scale)",
+)
+
+register_scenario(
+    "ripple-snapshot",
+    "bundled 96-node Ripple-style CSV snapshot under the trace workload",
+    topology="ripple-snapshot",
+    workload="ripple-trace",
+    figure="Fig 6a (snapshot-loaded topology)",
+)
+
+register_scenario(
+    "lightning-snapshot",
+    "bundled 96-node Lightning-style JSON snapshot under the trace workload",
+    topology="lightning-snapshot",
+    workload="lightning-trace",
+    figure="Fig 6b (snapshot-loaded topology)",
+)
+
+register_scenario(
+    "ripple-bursty",
+    "Ripple network under compound-Poisson payment bursts",
+    topology="ripple-synthetic",
+    workload="bursty",
+)
+
+register_scenario(
+    "lightning-diurnal",
+    "snapshot-loaded Lightning network under a day/night rate rhythm",
+    topology="lightning-snapshot",
+    workload="diurnal",
+)
+
+register_scenario(
+    "hotspot-drain",
+    "Ripple network with 60% of payments draining into 4 hotspot receivers",
+    topology="ripple-synthetic",
+    workload="hotspot",
+)
+
+register_scenario(
+    "elephant-heavy",
+    "Ripple network where 30% of payments are elephants (vs the paper's 10%)",
+    topology="ripple-synthetic",
+    workload="mice-elephant",
+    workload_params={"mice_fraction": 0.7},
+    figure="Fig 10 regime (threshold sensitivity)",
+)
+
+register_scenario(
+    "ripple-churn",
+    "Ripple network with hourly channel churn gossiped to routers",
+    topology="ripple-synthetic",
+    workload="ripple-trace",
+    dynamics="churn",
+    dynamics_params={"preset": "hourly"},
+)
+
+register_scenario(
+    "testbed-smallworld",
+    "Watts-Strogatz testbed topology under a mice-elephant mixture",
+    topology="testbed-smallworld",
+    workload="mice-elephant",
+    workload_params={"mice_median": 20.0, "elephant_median": 600.0},
+    figure="Figs 12/13 topology (§5.2)",
+)

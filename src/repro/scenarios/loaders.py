@@ -1,0 +1,251 @@
+"""Schema-validated topology snapshot loaders (CSV and JSON).
+
+Real PCN experiments start from crawled snapshots — Lightning gossip
+dumps exported as ``src,dst,capacity`` CSVs, Ripple credit-network crawls
+with per-direction balances.  These loaders turn such files into a
+:class:`~repro.network.graph.ChannelGraph`, validating every row; node
+ids are canonicalized at load and interned onto the compact CSR fast
+path (:meth:`ChannelGraph.compact`) on first route, so a loaded
+topology routes exactly as fast as a generated one.
+
+Supported schemas
+-----------------
+CSV (header required, extra columns ignored):
+
+* **Lightning-style**: ``src,dst,capacity`` — one row per channel, total
+  capacity split evenly across directions (the paper's preprocessing for
+  balance-unknown crawls).
+* **Ripple-style**: ``src,dst,balance_src,balance_dst`` — per-direction
+  credit balances, kept as given.
+
+JSON: an object ``{"format": "repro-snapshot-v1", "channels": [...]}``
+where each channel object carries ``src``/``dst`` plus either
+``capacity`` or ``balance_src``/``balance_dst`` (the two CSV schemas,
+row by row).
+
+Node ids may mix integers and numeric strings across rows (crawls often
+do); digit-only ids are canonicalized to ``int`` so ``7`` and ``"7"``
+name the same node.  Duplicate channels are an error by default —
+``on_duplicate="merge"`` sums their funds, ``"skip"`` keeps the first.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.network.channel import NodeId
+from repro.network.graph import ChannelGraph
+from repro.scenarios.registry import ScenarioError
+
+__all__ = [
+    "SnapshotError",
+    "load_snapshot",
+    "load_snapshot_csv",
+    "load_snapshot_json",
+]
+
+_DUPLICATE_POLICIES = ("error", "merge", "skip")
+
+
+class SnapshotError(ScenarioError):
+    """A snapshot file failed schema validation."""
+
+
+def _normalize_node_id(raw: object, where: str) -> NodeId:
+    """Canonicalize one node id: digit strings become ints.
+
+    Crawled snapshots routinely mix ``7`` and ``"7"`` (JSON re-exports,
+    spreadsheet round-trips); canonicalizing keeps them one node instead
+    of two disconnected ones.
+    """
+    if isinstance(raw, bool) or raw is None:
+        raise SnapshotError(f"{where}: invalid node id {raw!r}")
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, str):
+        text = raw.strip()
+        if not text:
+            raise SnapshotError(f"{where}: empty node id")
+        stripped = text[1:] if text[0] in "+-" else text
+        # isascii() guards against Unicode digits (e.g. superscripts)
+        # that isdigit() accepts but int() rejects.
+        if stripped.isascii() and stripped.isdigit():
+            return int(text)
+        return text
+    raise SnapshotError(f"{where}: invalid node id {raw!r}")
+
+
+def _parse_balance(raw: object, column: str, where: str) -> float:
+    try:
+        value = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise SnapshotError(
+            f"{where}: {column} must be a number, got {raw!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise SnapshotError(f"{where}: {column} must be finite, got {raw!r}")
+    if value < 0:
+        raise SnapshotError(f"{where}: negative {column} {value!r}")
+    return value
+
+
+class _SnapshotBuilder:
+    """Accumulates validated channel rows, applying the duplicate policy."""
+
+    def __init__(self, on_duplicate: str, source: str) -> None:
+        if on_duplicate not in _DUPLICATE_POLICIES:
+            raise SnapshotError(
+                f"on_duplicate must be one of {_DUPLICATE_POLICIES}, "
+                f"got {on_duplicate!r}"
+            )
+        self._on_duplicate = on_duplicate
+        self._source = source
+        #: canonical (min, max) key -> [a, b, balance_a, balance_b]
+        self._channels: dict[tuple, list] = {}
+
+    def add(
+        self, a: NodeId, b: NodeId, balance_a: float, balance_b: float, where: str
+    ) -> None:
+        if a == b:
+            raise SnapshotError(f"{where}: self-channel at node {a!r}")
+        key = (min((a, b), key=repr), max((a, b), key=repr))
+        existing = self._channels.get(key)
+        if existing is None:
+            self._channels[key] = [a, b, balance_a, balance_b]
+            return
+        if self._on_duplicate == "error":
+            raise SnapshotError(f"{where}: duplicate channel {a!r}<->{b!r}")
+        if self._on_duplicate == "merge":
+            if existing[0] == a:
+                existing[2] += balance_a
+                existing[3] += balance_b
+            else:
+                existing[2] += balance_b
+                existing[3] += balance_a
+        # "skip": keep the first occurrence.
+
+    def graph(self) -> ChannelGraph:
+        if not self._channels:
+            raise SnapshotError(f"{self._source}: snapshot has no channels")
+        result = ChannelGraph()
+        for a, b, balance_a, balance_b in self._channels.values():
+            result.add_channel(a, b, balance_a, balance_b)
+        return result
+
+
+def _row_channel(
+    row: dict, has_capacity: bool, where: str
+) -> tuple[NodeId, NodeId, float, float]:
+    src = _normalize_node_id(row.get("src"), where)
+    dst = _normalize_node_id(row.get("dst"), where)
+    if has_capacity:
+        half = _parse_balance(row.get("capacity"), "capacity", where) / 2.0
+        return src, dst, half, half
+    return (
+        src,
+        dst,
+        _parse_balance(row.get("balance_src"), "balance_src", where),
+        _parse_balance(row.get("balance_dst"), "balance_dst", where),
+    )
+
+
+def _schema_of(columns, where: str) -> bool:
+    """``True`` for the capacity schema, ``False`` for per-direction."""
+    present = set(columns or ())
+    if not {"src", "dst"} <= present:
+        raise SnapshotError(
+            f"{where}: header must name 'src' and 'dst' columns, "
+            f"got {sorted(present) or 'nothing'}"
+        )
+    if "capacity" in present:
+        return True
+    if {"balance_src", "balance_dst"} <= present:
+        return False
+    raise SnapshotError(
+        f"{where}: need either a 'capacity' column or both "
+        "'balance_src' and 'balance_dst'"
+    )
+
+
+def load_snapshot_csv(
+    path: str | Path, on_duplicate: str = "error"
+) -> ChannelGraph:
+    """Load a CSV topology snapshot (see module docstring for schemas).
+
+    The header row picks the schema; every data row is validated (node
+    ids, numeric/finite/non-negative funds, no self-channels).
+    """
+    path = Path(path)
+    builder = _SnapshotBuilder(on_duplicate, path.name)
+    try:
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            has_capacity = _schema_of(reader.fieldnames, path.name)
+            for line_number, row in enumerate(reader, start=2):
+                where = f"{path.name}:{line_number}"
+                if None in row:
+                    raise SnapshotError(
+                        f"{where}: more cells than header columns"
+                    )
+                builder.add(*_row_channel(row, has_capacity, where), where)
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot read snapshot ({exc})") from exc
+    return builder.graph()
+
+
+def load_snapshot_json(
+    path: str | Path, on_duplicate: str = "error"
+) -> ChannelGraph:
+    """Load a JSON topology snapshot (``repro-snapshot-v1``).
+
+    Validates the envelope (``format`` tag, ``channels`` list) and each
+    channel object with the same rules as the CSV loader; channels may
+    carry ``capacity`` or ``balance_src``/``balance_dst`` per object.
+    """
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot read snapshot ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{path.name}: invalid JSON ({exc})") from exc
+    if not isinstance(document, dict):
+        raise SnapshotError(f"{path.name}: top level must be an object")
+    if document.get("format") != "repro-snapshot-v1":
+        raise SnapshotError(
+            f"{path.name}: expected format 'repro-snapshot-v1', "
+            f"got {document.get('format')!r}"
+        )
+    channels = document.get("channels")
+    if not isinstance(channels, list):
+        raise SnapshotError(f"{path.name}: 'channels' must be a list")
+    builder = _SnapshotBuilder(on_duplicate, path.name)
+    for position, entry in enumerate(channels):
+        where = f"{path.name}:channels[{position}]"
+        if not isinstance(entry, dict):
+            raise SnapshotError(f"{where}: channel must be an object")
+        has_capacity = "capacity" in entry
+        if not has_capacity and not (
+            "balance_src" in entry and "balance_dst" in entry
+        ):
+            raise SnapshotError(
+                f"{where}: need 'capacity' or 'balance_src'/'balance_dst'"
+            )
+        builder.add(*_row_channel(entry, has_capacity, where), where)
+    return builder.graph()
+
+
+def load_snapshot(path: str | Path, on_duplicate: str = "error") -> ChannelGraph:
+    """Dispatch on file extension: ``.csv`` or ``.json``."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        return load_snapshot_csv(path, on_duplicate=on_duplicate)
+    if path.suffix.lower() == ".json":
+        return load_snapshot_json(path, on_duplicate=on_duplicate)
+    raise SnapshotError(
+        f"{path.name}: unsupported snapshot extension {path.suffix!r} "
+        "(expected .csv or .json)"
+    )

@@ -1,0 +1,356 @@
+"""Registry core of the scenario subsystem.
+
+A *scenario* is the composition of three named, parameterized
+ingredients:
+
+* a **topology source** — builds a :class:`ChannelGraph` (synthetic
+  generator or snapshot loader);
+* a **workload generator** — builds a
+  :class:`~repro.traces.workload.Workload` over the topology's nodes;
+* an optional **dynamics model** — builds a stream of
+  :class:`~repro.network.dynamics.ChannelEvent` churn events that the
+  runner interleaves with the workload by timestamp.
+
+Each ingredient is registered by name with a typed
+:class:`ParamSpec` list, so the CLI can list, describe, and override
+parameters without importing experiment code, and every future
+experiment is a one-line :func:`register_scenario` call.
+
+Entry points
+------------
+:func:`register_topology`, :func:`register_workload`,
+:func:`register_dynamics`
+    Register an ingredient builder under a name.
+:func:`register_scenario`
+    Compose registered ingredients into a named scenario.
+:func:`get_scenario`, :func:`scenario_names`, :func:`iter_scenarios`
+    Look scenarios up; :meth:`Scenario.factory` turns one into the
+    :data:`~repro.sim.runner.ScenarioFactory` the runner consumes.
+
+The built-in catalog lives in :mod:`repro.scenarios.catalog` and is
+loaded by ``import repro.scenarios``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.network.dynamics import ChannelEvent
+from repro.network.graph import ChannelGraph
+from repro.traces.workload import Workload
+
+
+class ScenarioError(ReproError):
+    """An unknown name, bad parameter, or invalid registration."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed, documented parameter of a registered builder.
+
+    ``kind`` is the coercion target (``int``/``float``/``str``/``bool``);
+    CLI ``--set key=value`` overrides are coerced through it, so builders
+    always receive well-typed values.
+    """
+
+    name: str
+    kind: type
+    default: object
+    help: str = ""
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` (possibly a CLI string) to this spec's type."""
+        if isinstance(value, self.kind):
+            return value
+        try:
+            if self.kind is bool:
+                if isinstance(value, str):
+                    lowered = value.strip().lower()
+                    if lowered in ("1", "true", "yes", "on"):
+                        return True
+                    if lowered in ("0", "false", "no", "off"):
+                        return False
+                    raise ValueError(value)
+                return bool(value)
+            return self.kind(value)
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"parameter {self.name!r} expects {self.kind.__name__}, "
+                f"got {value!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """A named builder plus its parameter specs and description."""
+
+    name: str
+    description: str
+    builder: Callable
+    params: tuple[ParamSpec, ...] = ()
+
+    def bind(self, overrides: Mapping[str, object] | None = None) -> dict:
+        """Defaults merged with coerced ``overrides``.
+
+        Unknown override keys raise :class:`ScenarioError` — scenario
+        definitions fail loudly instead of silently ignoring a typo.
+        """
+        bound = {spec.name: spec.default for spec in self.params}
+        if overrides:
+            specs = {spec.name: spec for spec in self.params}
+            for key, value in overrides.items():
+                if key not in specs:
+                    known = ", ".join(sorted(specs)) or "(none)"
+                    raise ScenarioError(
+                        f"{self.name!r} has no parameter {key!r} "
+                        f"(known: {known})"
+                    )
+                bound[key] = specs[key].coerce(value)
+        return bound
+
+
+class Registry:
+    """A name -> :class:`RegistryEntry` table for one ingredient kind."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable,
+        description: str,
+        params: Sequence[ParamSpec] = (),
+    ) -> RegistryEntry:
+        """Register ``builder`` under ``name``; duplicate names raise."""
+        if name in self._entries:
+            raise ScenarioError(f"{self.kind} {name!r} already registered")
+        if not description:
+            raise ScenarioError(f"{self.kind} {name!r} needs a description")
+        entry = RegistryEntry(
+            name=name,
+            description=description,
+            builder=builder,
+            params=tuple(params),
+        )
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> RegistryEntry:
+        """The entry for ``name``; unknown names raise :class:`ScenarioError`."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise ScenarioError(
+                f"unknown {self.kind} {name!r} (known: {known})"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The three ingredient registries.  Builder signatures:
+#: topology ``(rng, **params) -> ChannelGraph``;
+#: workload ``(rng, nodes, **params) -> Workload``;
+#: dynamics ``(rng, graph, duration_seconds, **params) -> list[ChannelEvent]``.
+TOPOLOGIES = Registry("topology")
+WORKLOADS = Registry("workload")
+DYNAMICS = Registry("dynamics")
+
+
+def register_topology(
+    name: str,
+    builder: Callable[..., ChannelGraph],
+    description: str,
+    params: Sequence[ParamSpec] = (),
+) -> RegistryEntry:
+    """Register a topology source: ``builder(rng, **params) -> ChannelGraph``."""
+    return TOPOLOGIES.register(name, builder, description, params)
+
+
+def register_workload(
+    name: str,
+    builder: Callable[..., Workload],
+    description: str,
+    params: Sequence[ParamSpec] = (),
+) -> RegistryEntry:
+    """Register a workload generator: ``builder(rng, nodes, **params) -> Workload``."""
+    return WORKLOADS.register(name, builder, description, params)
+
+
+def register_dynamics(
+    name: str,
+    builder: Callable[..., list[ChannelEvent]],
+    description: str,
+    params: Sequence[ParamSpec] = (),
+) -> RegistryEntry:
+    """Register a dynamics model: ``builder(rng, graph, duration_seconds, **params)``."""
+    return DYNAMICS.register(name, builder, description, params)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (topology x workload x dynamics) composition.
+
+    ``figure`` names the paper figure the scenario reproduces (empty for
+    scenarios that go beyond the paper).  Parameter dicts here are the
+    *scenario-level* defaults layered over each ingredient's own
+    defaults; :meth:`factory` layers per-call overrides on top of both.
+    """
+
+    name: str
+    description: str
+    topology: str
+    workload: str
+    dynamics: str | None = None
+    topology_params: Mapping[str, object] = field(default_factory=dict)
+    workload_params: Mapping[str, object] = field(default_factory=dict)
+    dynamics_params: Mapping[str, object] = field(default_factory=dict)
+    figure: str = ""
+
+    def ingredients(self) -> str:
+        """Human-readable ``topology x workload [+ dynamics]`` summary."""
+        parts = f"{self.topology} x {self.workload}"
+        if self.dynamics:
+            parts += f" + {self.dynamics}"
+        return parts
+
+    def factory(
+        self,
+        topology_overrides: Mapping[str, object] | None = None,
+        workload_overrides: Mapping[str, object] | None = None,
+        dynamics_overrides: Mapping[str, object] | None = None,
+    ):
+        """A seeded builder the runner consumes.
+
+        Returns a callable ``(random.Random) -> (graph, workload)`` — or
+        ``(graph, workload, events)`` when the scenario has a dynamics
+        model; :func:`repro.sim.runner.run_comparison` accepts both
+        shapes.  Overrides are validated against each ingredient's
+        :class:`ParamSpec` list at call time, so a bad override fails
+        before any run starts.
+        """
+        topology_entry = TOPOLOGIES.get(self.topology)
+        workload_entry = WORKLOADS.get(self.workload)
+        dynamics_entry = DYNAMICS.get(self.dynamics) if self.dynamics else None
+        if dynamics_entry is None and dynamics_overrides:
+            raise ScenarioError(
+                f"scenario {self.name!r} has no dynamics ingredient; "
+                f"dynamics overrides {sorted(dynamics_overrides)} have "
+                "no effect"
+            )
+
+        topology_kwargs = topology_entry.bind(
+            {**self.topology_params, **(topology_overrides or {})}
+        )
+        workload_kwargs = workload_entry.bind(
+            {**self.workload_params, **(workload_overrides or {})}
+        )
+        dynamics_kwargs = (
+            dynamics_entry.bind(
+                {**self.dynamics_params, **(dynamics_overrides or {})}
+            )
+            if dynamics_entry
+            else {}
+        )
+
+        def build(rng: random.Random):
+            graph = topology_entry.builder(rng, **topology_kwargs)
+            workload = workload_entry.builder(rng, graph.nodes, **workload_kwargs)
+            if dynamics_entry is None:
+                return graph, workload
+            horizon = (
+                workload[len(workload) - 1].time if len(workload) else 0.0
+            )
+            events = dynamics_entry.builder(
+                rng, graph, horizon, **dynamics_kwargs
+            )
+            return graph, workload, events
+
+        return build
+
+
+#: Name -> :class:`Scenario` catalog (populated by ``catalog.py`` and
+#: user code via :func:`register_scenario`).
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str,
+    description: str,
+    topology: str,
+    workload: str,
+    dynamics: str | None = None,
+    topology_params: Mapping[str, object] | None = None,
+    workload_params: Mapping[str, object] | None = None,
+    dynamics_params: Mapping[str, object] | None = None,
+    figure: str = "",
+) -> Scenario:
+    """Compose registered ingredients into a named scenario.
+
+    All ingredient names and scenario-level parameter defaults are
+    validated eagerly (a typo fails at registration, not first run).
+    Returns the :class:`Scenario` for convenience.
+    """
+    if name in SCENARIOS:
+        raise ScenarioError(f"scenario {name!r} already registered")
+    if not description:
+        raise ScenarioError(f"scenario {name!r} needs a description")
+    if dynamics is None and dynamics_params:
+        raise ScenarioError(
+            f"scenario {name!r} sets dynamics_params "
+            f"{sorted(dynamics_params)} but no dynamics ingredient"
+        )
+    scenario = Scenario(
+        name=name,
+        description=description,
+        topology=topology,
+        workload=workload,
+        dynamics=dynamics,
+        topology_params=dict(topology_params or {}),
+        workload_params=dict(workload_params or {}),
+        dynamics_params=dict(dynamics_params or {}),
+        figure=figure,
+    )
+    # Eager validation: ingredient lookup + parameter binding both raise
+    # ScenarioError on any mismatch.
+    TOPOLOGIES.get(topology).bind(scenario.topology_params)
+    WORKLOADS.get(workload).bind(scenario.workload_params)
+    if dynamics is not None:
+        DYNAMICS.get(dynamics).bind(scenario.dynamics_params)
+    SCENARIOS[name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered :class:`Scenario`; unknown names raise with the catalog."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS)) or "(none)"
+        raise ScenarioError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def iter_scenarios() -> Iterator[Scenario]:
+    """Registered scenarios in name order."""
+    for name in scenario_names():
+        yield SCENARIOS[name]

@@ -19,7 +19,9 @@ from repro.sim.results import format_number, format_series, format_table
 from repro.sim.runner import (
     DEFAULT_RUNS,
     ComparisonResult,
+    ScenarioBuild,
     ScenarioFactory,
+    resolve_scenario,
     run_comparison,
     sweep,
 )
@@ -29,6 +31,7 @@ __all__ = [
     "ComparisonResult",
     "DEFAULT_RUNS",
     "RouterFactory",
+    "ScenarioBuild",
     "ScenarioFactory",
     "SimulationResult",
     "TransactionRecord",
@@ -39,6 +42,7 @@ __all__ = [
     "format_table",
     "landmark_factory",
     "paper_benchmark_factories",
+    "resolve_scenario",
     "run_comparison",
     "run_simulation",
     "shortest_path_factory",

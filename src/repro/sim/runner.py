@@ -24,15 +24,40 @@ import zlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro.network.dynamics import ChannelEvent, run_dynamic_simulation
 from repro.network.graph import ChannelGraph
 from repro.sim.engine import RouterFactory, run_simulation
 from repro.sim.metrics import AveragedMetrics, SimulationResult
 from repro.traces.workload import Workload
 
-#: Builds the (topology, workload) pair for one seeded run.
-ScenarioFactory = Callable[[random.Random], tuple[ChannelGraph, Workload]]
+#: What one seeded build yields: ``(graph, workload)``, or
+#: ``(graph, workload, events)`` when the scenario includes topology
+#: dynamics (the runner then interleaves churn events by timestamp via
+#: :func:`repro.network.dynamics.run_dynamic_simulation`).
+ScenarioBuild = (
+    tuple[ChannelGraph, Workload]
+    | tuple[ChannelGraph, Workload, list[ChannelEvent]]
+)
+
+#: Builds the inputs for one seeded run.
+ScenarioFactory = Callable[[random.Random], ScenarioBuild]
 
 DEFAULT_RUNS = 5
+
+
+def resolve_scenario(scenario: ScenarioFactory | str) -> ScenarioFactory:
+    """Accept a factory callable or a registered scenario name.
+
+    Strings are looked up in the :mod:`repro.scenarios` catalog (imported
+    lazily so the runner stays usable without the registry); callables
+    pass through unchanged.  Every runner entry point calls this, so
+    ``run_comparison("ripple-default", ...)`` just works.
+    """
+    if isinstance(scenario, str):
+        from repro.scenarios import get_scenario
+
+        return get_scenario(scenario).factory()
+    return scenario
 
 
 @dataclass(frozen=True)
@@ -45,6 +70,7 @@ class ComparisonResult:
         return self.metrics[scheme]
 
     def schemes(self) -> list[str]:
+        """Scheme names in registration (table-row) order."""
         return list(self.metrics)
 
 
@@ -55,20 +81,41 @@ def _single_run(
     reference_mice_fraction: float,
     run_index: int,
 ) -> dict[str, SimulationResult]:
-    """One seeded replication: every scheme on the same graph/workload."""
+    """One seeded replication: every scheme on the same graph/workload.
+
+    Scenario factories may return ``(graph, workload)`` or
+    ``(graph, workload, events)``; with events present each scheme runs
+    through the dynamic simulator (churn interleaved by timestamp, same
+    event stream for every scheme).
+    """
     scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
-    graph, workload = scenario(scenario_rng)
+    built = scenario(scenario_rng)
+    if len(built) == 3:
+        graph, workload, events = built
+    else:
+        graph, workload = built
+        events = None
     results: dict[str, SimulationResult] = {}
     for name, factory in factories.items():
         name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
         router_rng = random.Random(base_seed + 7_919 * run_index + name_salt)
-        results[name] = run_simulation(
-            graph,
-            factory,
-            workload,
-            rng=router_rng,
-            reference_mice_fraction=reference_mice_fraction,
-        )
+        if events:
+            results[name] = run_dynamic_simulation(
+                graph,
+                factory,
+                workload,
+                events,
+                rng=router_rng,
+                reference_mice_fraction=reference_mice_fraction,
+            )
+        else:
+            results[name] = run_simulation(
+                graph,
+                factory,
+                workload,
+                rng=router_rng,
+                reference_mice_fraction=reference_mice_fraction,
+            )
     return results
 
 
@@ -115,7 +162,7 @@ def _run_parallel(
 
 
 def run_comparison(
-    scenario: ScenarioFactory,
+    scenario: ScenarioFactory | str,
     factories: dict[str, RouterFactory],
     runs: int = DEFAULT_RUNS,
     base_seed: int = 0,
@@ -124,15 +171,18 @@ def run_comparison(
 ) -> ComparisonResult:
     """Average each scheme over ``runs`` seeded replications.
 
-    Every scheme within a run sees the *same* graph copy and workload, so
-    differences are attributable to routing alone.  ``workers=N`` (N > 1)
-    executes the seeded runs in N parallel processes; seeds, result order,
-    and therefore every averaged metric are identical to the serial path.
+    ``scenario`` is a factory callable or a registered scenario name
+    (see :func:`resolve_scenario`).  Every scheme within a run sees the
+    *same* graph copy and workload, so differences are attributable to
+    routing alone.  ``workers=N`` (N > 1) executes the seeded runs in N
+    parallel processes; seeds, result order, and therefore every
+    averaged metric are identical to the serial path.
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
     if workers is not None and workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
+    scenario = resolve_scenario(scenario)
 
     run_results: list[dict[str, SimulationResult]] | None = None
     if workers is not None and workers > 1 and runs > 1:
@@ -171,7 +221,9 @@ def sweep(
 
     Returns ``{scheme: [AveragedMetrics per swept value]}`` — exactly the
     series shape of the paper's line plots (Figs 6, 7, 10, 11).
-    ``workers`` is forwarded to every :func:`run_comparison`.
+    ``scenario_for`` may return a factory callable *or* a registered
+    scenario name per value; ``workers`` is forwarded to every
+    :func:`run_comparison`.
     """
     series: dict[str, list[AveragedMetrics]] = {name: [] for name in factories}
     for value in values:

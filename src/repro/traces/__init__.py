@@ -34,6 +34,12 @@ from repro.traces.recurrence import (
     uniform_pairs,
     zipf_weights,
 )
+from repro.traces.synthetic import (
+    generate_bursty_workload,
+    generate_diurnal_workload,
+    generate_hotspot_workload,
+    generate_mixed_workload,
+)
 from repro.traces.workload import Transaction, Workload, percentile
 
 __all__ = [
@@ -53,7 +59,11 @@ __all__ = [
     "bitcoin_size_distribution",
     "daily_windows",
     "empirical_cdf",
+    "generate_bursty_workload",
+    "generate_diurnal_workload",
+    "generate_hotspot_workload",
     "generate_lightning_workload",
+    "generate_mixed_workload",
     "generate_multiday_trace",
     "generate_ripple_workload",
     "generate_workload",

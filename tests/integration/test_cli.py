@@ -1,5 +1,7 @@
 """Tests for the experiment CLI (python -m repro)."""
 
+import argparse
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -41,6 +43,116 @@ class TestTestbed:
         out = capsys.readouterr().out
         assert code == 0
         assert "normalized delay" in out
+
+
+class TestSubcommandHelp:
+    def test_every_subcommand_has_help_and_description(self):
+        parser = build_parser()
+        subparsers_action = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        listed = {
+            choice.dest for choice in subparsers_action._choices_actions
+        }
+        for name, subparser in subparsers_action.choices.items():
+            assert name in listed, f"{name} missing from repro --help"
+            assert subparser.description, f"{name} has no description"
+        help_lines = {
+            choice.dest: choice.help
+            for choice in subparsers_action._choices_actions
+        }
+        assert all(help_lines.values()), help_lines
+
+    def test_run_description_names_scenarios(self):
+        import repro.scenarios as scenarios
+
+        parser = build_parser()
+        subparsers_action = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        description = subparsers_action.choices["run"].description
+        for name in scenarios.scenario_names():
+            assert name in description
+
+
+class TestListScenarios:
+    def test_lists_all_registered_names(self, capsys):
+        import repro.scenarios as scenarios
+
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenarios.scenario_names():
+            assert name in out
+
+    def test_verbose_lists_parameters(self, capsys):
+        assert main(["list-scenarios", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "--workload-param transactions=" in out
+        assert "--dynamics-param preset=" in out
+
+
+class TestRunScenario:
+    def test_runs_registered_scenario(self, capsys):
+        code = main(
+            ["run", "ripple-snapshot", "--transactions", "30", "--runs", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=ripple-snapshot" in out
+        assert "Flash" in out and "succ. ratio" in out
+
+    def test_parameter_overrides_flow_through(self, capsys):
+        code = main(
+            [
+                "run",
+                "ripple-default",
+                "--runs",
+                "1",
+                "--transactions",
+                "20",
+                "--topo-param",
+                "nodes=40",
+                "--topo-param",
+                "edges=120",
+            ]
+        )
+        assert code == 0
+        assert "scenario=ripple-default" in capsys.readouterr().out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_override_fails_cleanly(self, capsys):
+        code = main(
+            ["run", "ripple-default", "--workload-param", "txns=5"]
+        )
+        assert code == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_malformed_override_pair_fails_cleanly(self, capsys):
+        code = main(["run", "ripple-default", "--topo-param", "nodes"])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_dynamics_override_without_dynamics_rejected(self, capsys):
+        code = main(
+            ["run", "ripple-default", "--dynamics-param", "preset=volatile"]
+        )
+        assert code == 2
+        assert "no dynamics ingredient" in capsys.readouterr().err
+
+    def test_builder_range_error_fails_cleanly(self, capsys):
+        # Passes int/float coercion but violates the builder's own check.
+        code = main(
+            ["run", "ripple-bursty", "--workload-param", "mean_burst_size=0.5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestFigure:

@@ -6,10 +6,13 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.network.dynamics import (
+    CHURN_PRESETS,
     ChannelEvent,
     ChannelEventType,
     ChurnModel,
+    ChurnPreset,
     GossipSchedule,
+    churn_events_for,
     run_dynamic_simulation,
 )
 from repro.network.topology import grid_topology, ripple_like_topology
@@ -52,6 +55,47 @@ class TestChurnModel:
     def test_negative_rate_rejected(self, grid_graph):
         with pytest.raises(TopologyError):
             ChurnModel(grid_graph, random.Random(0), opens_per_hour=-1)
+
+
+class TestChurnPresets:
+    def test_known_presets_cover_the_paper_regimes(self):
+        assert {"calm", "hourly", "volatile"} <= set(CHURN_PRESETS)
+        for preset in CHURN_PRESETS.values():
+            assert preset.description
+
+    def test_events_from_named_preset(self, grid_graph):
+        events = churn_events_for(
+            grid_graph, random.Random(1), 50 * 3_600.0, preset="hourly"
+        )
+        # ~50 opens + ~50 closes expected over 50 hours; allow wide slack.
+        assert 40 <= len(events) <= 170
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 50 * 3_600.0 for t in times)
+
+    def test_preset_rates_ordered(self, grid_graph):
+        def count(name):
+            return len(
+                churn_events_for(
+                    grid_graph, random.Random(3), 100 * 3_600.0, preset=name
+                )
+            )
+
+        assert count("calm") < count("hourly") < count("volatile")
+
+    def test_custom_preset_object_accepted(self, grid_graph):
+        preset = ChurnPreset(
+            name="x", description="d", opens_per_hour=5.0, closes_per_hour=0.0
+        )
+        events = churn_events_for(
+            grid_graph, random.Random(2), 10 * 3_600.0, preset=preset
+        )
+        assert events
+        assert all(event.kind is ChannelEventType.OPEN for event in events)
+
+    def test_unknown_preset_rejected(self, grid_graph):
+        with pytest.raises(TopologyError, match="unknown churn preset"):
+            churn_events_for(grid_graph, random.Random(0), 10.0, preset="wild")
 
 
 class _RecordingRouter:

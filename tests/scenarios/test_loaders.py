@@ -1,0 +1,224 @@
+"""Snapshot loader validation: schemas, malformed rows, duplicates, ids."""
+
+import json
+
+import pytest
+
+from repro.scenarios.loaders import (
+    SnapshotError,
+    load_snapshot,
+    load_snapshot_csv,
+    load_snapshot_json,
+)
+from repro.scenarios.catalog import LIGHTNING_SNAPSHOT_JSON, RIPPLE_SNAPSHOT_CSV
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestCsvSchemas:
+    def test_capacity_schema_splits_evenly(self, tmp_path):
+        path = write(
+            tmp_path, "t.csv", "src,dst,capacity\na,b,100\nb,c,40\n"
+        )
+        graph = load_snapshot_csv(path)
+        assert graph.num_nodes() == 3
+        assert graph.num_channels() == 2
+        assert graph.balance("a", "b") == 50.0
+        assert graph.balance("b", "a") == 50.0
+
+    def test_balance_schema_keeps_directions(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.csv",
+            "src,dst,balance_src,balance_dst\na,b,70,30\n",
+        )
+        graph = load_snapshot_csv(path)
+        assert graph.balance("a", "b") == 70.0
+        assert graph.balance("b", "a") == 30.0
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.csv",
+            "src,dst,capacity,last_update\na,b,10,2018-12-01\n",
+        )
+        assert load_snapshot_csv(path).num_channels() == 1
+
+    def test_loaded_graph_interns_onto_compact(self, tmp_path):
+        path = write(tmp_path, "t.csv", "src,dst,capacity\na,b,10\nb,7,4\n")
+        graph = load_snapshot_csv(path)
+        snapshot = graph.compact()
+        assert snapshot.version == graph.topology_version
+        assert set(snapshot["b"]) == {"a", 7}
+
+
+class TestCsvMalformed:
+    @pytest.mark.parametrize(
+        "body, message",
+        [
+            ("a,b\n1,2\n", "header"),
+            ("src,dst,weight\na,b,3\n", "capacity"),
+            ("src,dst,capacity\na,b,ten\n", "number"),
+            ("src,dst,capacity\na,b,-5\n", "negative"),
+            ("src,dst,capacity\na,b,nan\n", "finite"),
+            ("src,dst,capacity\na,a,5\n", "self-channel"),
+            ("src,dst,capacity\n,b,5\n", "empty node id"),
+            ("src,dst,capacity\na,b,5,9,9\n", "more cells"),
+            ("src,dst,capacity\n", "no channels"),
+        ],
+    )
+    def test_rejected(self, tmp_path, body, message):
+        path = write(tmp_path, "bad.csv", body)
+        with pytest.raises(SnapshotError, match=message):
+            load_snapshot_csv(path)
+
+    def test_error_names_file_and_line(self, tmp_path):
+        path = write(tmp_path, "bad.csv", "src,dst,capacity\na,b,5\nb,c,-1\n")
+        with pytest.raises(SnapshotError, match=r"bad\.csv:3"):
+            load_snapshot_csv(path)
+
+
+class TestDuplicateEdges:
+    BODY = "src,dst,capacity\na,b,100\nb,a,60\n"
+
+    def test_duplicates_error_by_default(self, tmp_path):
+        path = write(tmp_path, "dup.csv", self.BODY)
+        with pytest.raises(SnapshotError, match="duplicate channel"):
+            load_snapshot_csv(path)
+
+    def test_duplicates_merge_sums_funds(self, tmp_path):
+        path = write(tmp_path, "dup.csv", self.BODY)
+        graph = load_snapshot_csv(path, on_duplicate="merge")
+        assert graph.num_channels() == 1
+        # 100 split 50/50 on a->b, then 60 split 30/30 arriving as b->a.
+        assert graph.balance("a", "b") == 80.0
+        assert graph.balance("b", "a") == 80.0
+
+    def test_merge_respects_direction(self, tmp_path):
+        path = write(
+            tmp_path,
+            "dup.csv",
+            "src,dst,balance_src,balance_dst\na,b,70,30\nb,a,5,1\n",
+        )
+        graph = load_snapshot_csv(path, on_duplicate="merge")
+        assert graph.balance("a", "b") == 71.0
+        assert graph.balance("b", "a") == 35.0
+
+    def test_duplicates_skip_keeps_first(self, tmp_path):
+        path = write(tmp_path, "dup.csv", self.BODY)
+        graph = load_snapshot_csv(path, on_duplicate="skip")
+        assert graph.balance("a", "b") == 50.0
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = write(tmp_path, "dup.csv", self.BODY)
+        with pytest.raises(SnapshotError, match="on_duplicate"):
+            load_snapshot_csv(path, on_duplicate="overwrite")
+
+
+class TestNodeIdNormalization:
+    def test_mixed_int_and_str_ids_unify(self, tmp_path):
+        # "7" in the CSV and 7 in JSON must be the same node; alphanumeric
+        # ids stay strings.
+        path = write(
+            tmp_path,
+            "t.json",
+            json.dumps(
+                {
+                    "format": "repro-snapshot-v1",
+                    "channels": [
+                        {"src": 7, "dst": "alice", "capacity": 10},
+                        {"src": "7", "dst": "8", "capacity": 10},
+                    ],
+                }
+            ),
+        )
+        graph = load_snapshot_json(path)
+        assert graph.num_nodes() == 3
+        assert graph.has_channel(7, "alice")
+        assert graph.has_channel(7, 8)
+
+    def test_duplicate_via_mixed_ids_detected(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            json.dumps(
+                {
+                    "format": "repro-snapshot-v1",
+                    "channels": [
+                        {"src": 1, "dst": 2, "capacity": 10},
+                        {"src": "2", "dst": "1", "capacity": 10},
+                    ],
+                }
+            ),
+        )
+        with pytest.raises(SnapshotError, match="duplicate channel"):
+            load_snapshot_json(path)
+
+    def test_whitespace_stripped(self, tmp_path):
+        path = write(
+            tmp_path, "t.csv", "src,dst,capacity\n 7 ,alice,10\n"
+        )
+        graph = load_snapshot_csv(path)
+        assert graph.has_channel(7, "alice")
+
+    def test_unicode_digits_stay_strings(self, tmp_path):
+        # "²".isdigit() is True but int("²") raises; such ids must stay
+        # string node ids, not crash the loader.
+        path = write(tmp_path, "t.csv", "src,dst,capacity\n²,b,10\n")
+        graph = load_snapshot_csv(path)
+        assert graph.has_channel("²", "b")
+
+
+class TestJsonEnvelope:
+    def test_invalid_json_rejected(self, tmp_path):
+        path = write(tmp_path, "t.json", "{not json")
+        with pytest.raises(SnapshotError, match="invalid JSON"):
+            load_snapshot_json(path)
+
+    def test_wrong_format_tag_rejected(self, tmp_path):
+        path = write(tmp_path, "t.json", json.dumps({"format": "v2"}))
+        with pytest.raises(SnapshotError, match="repro-snapshot-v1"):
+            load_snapshot_json(path)
+
+    def test_channels_must_be_list(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            json.dumps({"format": "repro-snapshot-v1", "channels": {}}),
+        )
+        with pytest.raises(SnapshotError, match="must be a list"):
+            load_snapshot_json(path)
+
+    def test_channel_must_be_object_with_funds(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            json.dumps({"format": "repro-snapshot-v1", "channels": [[1, 2]]}),
+        )
+        with pytest.raises(SnapshotError, match="channels\\[0\\]"):
+            load_snapshot_json(path)
+
+
+class TestDispatchAndBundled:
+    def test_dispatch_by_extension(self, tmp_path):
+        with pytest.raises(SnapshotError, match="unsupported snapshot extension"):
+            load_snapshot(tmp_path / "t.yaml")
+
+    @pytest.mark.parametrize("name", ["missing.csv", "missing.json"])
+    def test_missing_file_raises_snapshot_error(self, tmp_path, name):
+        with pytest.raises(SnapshotError, match="cannot read snapshot"):
+            load_snapshot(tmp_path / name)
+
+    def test_bundled_ripple_csv_loads(self):
+        graph = load_snapshot(RIPPLE_SNAPSHOT_CSV)
+        assert graph.num_nodes() == 96
+        assert graph.num_channels() == 900
+
+    def test_bundled_lightning_json_loads(self):
+        graph = load_snapshot(LIGHTNING_SNAPSHOT_JSON)
+        assert graph.num_nodes() == 96
+        assert graph.num_channels() == 1380

@@ -56,6 +56,35 @@ class TestRunComparison:
             run_comparison(scenario(), FACTORIES, runs=0)
 
 
+class TestScenarioNames:
+    def test_run_comparison_accepts_registered_name(self):
+        comparison = run_comparison(
+            "testbed-smallworld", FACTORIES, runs=1
+        )
+        assert set(comparison.schemes()) == {"Flash", "Shortest Path"}
+        assert comparison["Flash"].runs == 1
+
+    def test_unknown_name_raises_scenario_error(self):
+        from repro.scenarios import ScenarioError
+
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            run_comparison("nope", FACTORIES, runs=1)
+
+    def test_dynamic_scenario_threads_events_through_runner(self):
+        def build(rng: random.Random):
+            graph = grid_topology(4, 4, balance=100.0)
+            workload = generate_ripple_workload(rng, graph.nodes, 30)
+            from repro.network.dynamics import churn_events_for
+
+            horizon = workload[len(workload) - 1].time
+            events = churn_events_for(graph, rng, horizon, preset="volatile")
+            return graph, workload, events
+
+        comparison = run_comparison(build, FACTORIES, runs=2)
+        assert comparison["Flash"].runs == 2
+        assert 0.0 <= comparison["Flash"].success_ratio <= 1.0
+
+
 class TestSweep:
     def test_series_shape(self):
         series = sweep([1.0, 5.0], scenario, FACTORIES, runs=2)

@@ -1,0 +1,131 @@
+"""Tests for the synthetic stress workload generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.traces.synthetic import (
+    generate_bursty_workload,
+    generate_diurnal_workload,
+    generate_hotspot_workload,
+    generate_mixed_workload,
+)
+
+NODES = list(range(60))
+
+
+class TestBursty:
+    def test_count_and_ordering(self, rng):
+        workload = generate_bursty_workload(rng, NODES, 200)
+        assert len(workload) == 200
+        times = [txn.time for txn in workload]
+        assert times == sorted(times)
+        assert [txn.txid for txn in workload] == list(range(200))
+
+    def test_bursts_share_a_pair(self, rng):
+        workload = generate_bursty_workload(
+            rng, NODES, 300, mean_burst_size=6.0, intra_burst_gap=1.0
+        )
+        # Consecutive same-pair payments must be far more common than in
+        # the memoryless generators (expected ~1 - 1/6 of transitions).
+        repeats = sum(
+            1
+            for prev, cur in zip(workload, workload.transactions[1:])
+            if (prev.sender, prev.receiver) == (cur.sender, cur.receiver)
+        )
+        assert repeats > 100
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_bursty_workload(rng, NODES, -1)
+        with pytest.raises(ValueError):
+            generate_bursty_workload(rng, NODES, 10, mean_burst_size=0.5)
+
+    def test_deterministic_per_seed(self):
+        a = generate_bursty_workload(random.Random(5), NODES, 50)
+        b = generate_bursty_workload(random.Random(5), NODES, 50)
+        assert [t.amount for t in a] == [t.amount for t in b]
+
+
+class TestDiurnal:
+    def test_count_and_ordering(self, rng):
+        workload = generate_diurnal_workload(rng, NODES, 150)
+        assert len(workload) == 150
+        times = [txn.time for txn in workload]
+        assert times == sorted(times)
+
+    def test_rate_peaks_near_peak_hour(self):
+        # Strong modulation, many samples: the peak 8-hour window around
+        # peak_hour must hold well over 1/3 of the payments.
+        workload = generate_diurnal_workload(
+            random.Random(2),
+            NODES,
+            3_000,
+            transactions_per_day=3_000.0,
+            peak_to_trough=8.0,
+            peak_hour=12.0,
+        )
+        in_peak_window = sum(
+            1
+            for txn in workload
+            if 8.0 <= (txn.time / 3_600.0) % 24.0 < 16.0
+        )
+        assert in_peak_window / len(workload) > 0.45
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_diurnal_workload(rng, NODES, 10, peak_to_trough=0.5)
+
+
+class TestHotspot:
+    def test_hotspots_absorb_configured_share(self):
+        workload = generate_hotspot_workload(
+            random.Random(3), NODES, 1_000, hotspot_count=3, hotspot_share=0.7
+        )
+        by_receiver: dict = {}
+        for txn in workload:
+            by_receiver[txn.receiver] = by_receiver.get(txn.receiver, 0) + 1
+        top3 = sum(sorted(by_receiver.values(), reverse=True)[:3])
+        assert top3 / len(workload) > 0.6
+
+    def test_no_self_payments(self, rng):
+        workload = generate_hotspot_workload(
+            rng, NODES, 500, hotspot_count=1, hotspot_share=1.0
+        )
+        assert all(txn.sender != txn.receiver for txn in workload)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_hotspot_workload(rng, NODES, 10, hotspot_share=1.5)
+        with pytest.raises(ValueError):
+            generate_hotspot_workload(rng, NODES, 10, hotspot_count=0)
+        with pytest.raises(ValueError):
+            generate_hotspot_workload(rng, NODES, 10, hotspot_count=len(NODES))
+
+
+class TestMixed:
+    def test_mice_fraction_controls_split(self):
+        workload = generate_mixed_workload(
+            random.Random(4),
+            NODES,
+            2_000,
+            mice_fraction=0.7,
+            mice_median=5.0,
+            elephant_median=5_000.0,
+            mice_sigma=0.5,
+            elephant_sigma=0.5,
+        )
+        # With a 1000x median gap and tight sigmas the components barely
+        # overlap; the geometric midpoint separates them cleanly.
+        cut = math.sqrt(5.0 * 5_000.0)
+        elephants = sum(1 for txn in workload if txn.amount >= cut)
+        assert 0.25 < elephants / len(workload) < 0.35
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_mixed_workload(rng, NODES, 10, mice_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_mixed_workload(
+                rng, NODES, 10, mice_median=100.0, elephant_median=50.0
+            )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Markdown link checker (stdlib-only) for the repo's docs tree.
+
+Verifies that every relative link target in the given markdown files
+exists on disk — the failure mode that actually happens in a repo
+(renamed files, moved docs), without needing network access for external
+URLs, which are skipped.  Used by the CI ``docs`` job::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+
+Exit status is the number of broken links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) / ![alt](target), tolerating one
+#: level of nested brackets in the text.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Skip external and in-page targets.
+_EXTERNAL = re.compile(r"^(?:[a-z][a-z0-9+.-]*:|#)", re.IGNORECASE)
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — their brackets are not links."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def broken_links(path: Path) -> list[tuple[str, str]]:
+    """``(target, reason)`` for every broken relative link in ``path``."""
+    problems = []
+    text = _strip_code_blocks(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if _EXTERNAL.match(target):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing file {resolved}"))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every argument file; print problems; exit = broken count."""
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    total = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found")
+            total += 1
+            continue
+        for target, reason in broken_links(path):
+            print(f"{name}: broken link {target!r} ({reason})")
+            total += 1
+    if total == 0:
+        print(f"ok: {len(argv)} file(s), no broken relative links")
+    return min(total, 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
