@@ -293,7 +293,19 @@ def test_bench_perf_routing():
             "metrics_identical": True,
         },
     }
-    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    # Canonical serialization (sorted keys, fixed float precision) keeps
+    # the snapshot diffable across platforms and compare_bench.py stable.
+    from repro.eval.store import CANONICAL_DIGITS, canonicalize
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            canonicalize(report, CANONICAL_DIGITS),
+            indent=2,
+            sort_keys=True,
+            allow_nan=False,
+        )
+        + "\n"
+    )
 
     body = "\n".join(
         [

@@ -13,6 +13,11 @@ Examples
     python -m repro list-scenarios --verbose
     python -m repro run lightning-diurnal --runs 3 --workers 2
     python -m repro run ripple-churn --dynamics-param preset=volatile
+    python -m repro run ripple-snapshot --seed 7 --out results/run1
+    python -m repro sweep ripple-default --axis topology.capacity_median \
+        --values 125,250,500 --out results/cap-sweep --resume
+    python -m repro report --out results
+    python -m repro report --smoke --check-golden tests/golden/report_smoke
 
 ``figure`` accepts: fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11,
 fig12, fig13, ablation-k, ablation-order, ablation-paths.  All figures run
@@ -24,6 +29,14 @@ topologies (slow).
 compares the four paper schemes on it; ``--topo-param``/
 ``--workload-param``/``--dynamics-param KEY=VALUE`` override any
 registered parameter.
+
+``sweep`` runs one registered scenario across several values of one
+parameter (``--axis ROLE.KEY --values V1,V2,...``); with ``--out DIR``
+every completed (scheme, seed) cell is persisted to
+``DIR/records.jsonl`` and ``--resume`` re-invokes an interrupted sweep
+without recomputing completed cells.  ``report`` regenerates the
+paper's headline comparison (Flash vs all four baselines) as markdown
+tables + figures under ``results/`` — see docs/RESULTS.md.
 """
 
 from __future__ import annotations
@@ -234,17 +247,29 @@ def _cmd_run(args) -> int:
 
     try:
         scenario = scenarios.get_scenario(args.name)
+        topo_overrides = _parse_param_overrides(args.topo_param)
         workload_overrides = _parse_param_overrides(args.workload_param)
+        dynamics_overrides = _parse_param_overrides(args.dynamics_param)
         if args.transactions is not None:
             workload_overrides["transactions"] = args.transactions
         factory = scenario.factory(
-            topology_overrides=_parse_param_overrides(args.topo_param),
+            topology_overrides=topo_overrides,
             workload_overrides=workload_overrides,
-            dynamics_overrides=_parse_param_overrides(args.dynamics_param),
+            dynamics_overrides=dynamics_overrides,
         )
     except scenarios.ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    store = None
+    cells_before = 0
+    if args.out:
+        from repro.eval.store import ExperimentStore
+
+        store = ExperimentStore(args.out)
+        # Fold in shards orphaned by an earlier killed run *before*
+        # snapshotting, so recovered cells count as resumed, not new.
+        store.merge_shards()
+        cells_before = len(store)
     print(
         f"scenario={scenario.name} ({scenario.ingredients()}) "
         f"runs={args.runs} seed={args.seed}"
@@ -256,6 +281,16 @@ def _cmd_run(args) -> int:
             runs=args.runs,
             base_seed=args.seed,
             workers=args.workers,
+            store=store,
+            experiment=scenario.name,
+            # The cell key covers the CLI overrides *and* the scenario's
+            # registered defaults, so editing the catalog invalidates
+            # stale records instead of silently resuming from them.
+            cell_params=_scenario_cell_params(
+                scenario, topo_overrides, workload_overrides, dynamics_overrides
+            )
+            if store is not None
+            else None,
         )
     except (ReproError, ValueError) as error:
         # Overrides that pass type coercion can still violate a builder's
@@ -273,19 +308,213 @@ def _cmd_run(args) -> int:
         ]
         for name, metrics in comparison.metrics.items()
     ]
-    print(
-        format_table(
-            [
-                "scheme",
-                "succ. ratio (%)",
-                "succ. volume",
-                "probe msgs",
-                "fee/volume (%)",
-            ],
-            rows,
-        )
+    table = format_table(
+        [
+            "scheme",
+            "succ. ratio (%)",
+            "succ. volume",
+            "probe msgs",
+            "fee/volume (%)",
+        ],
+        rows,
     )
+    print(table)
+    if store is not None:
+        summary_path = store.directory / "comparison.md"
+        summary_path.write_text(
+            f"# {scenario.name}\n\nruns={args.runs} seed={args.seed}\n\n"
+            f"```\n{table}\n```\n",
+            encoding="utf-8",
+        )
+        expected = args.runs * len(comparison.metrics)
+        print(_records_line(store, cells_before, expected))
     return 0
+
+
+def _scenario_cell_params(scenario, topo, workload, dynamics) -> dict:
+    """The store cell key for a CLI run: overrides + registered defaults."""
+    return {
+        "topology": {**dict(scenario.topology_params), **topo},
+        "workload": {**dict(scenario.workload_params), **workload},
+        "dynamics": {**dict(scenario.dynamics_params), **dynamics},
+    }
+
+
+def _records_line(store, cells_before: int, expected: int) -> str:
+    """One status line making store reuse visible, never silent.
+
+    ``expected`` is how many cells this invocation needed; the resumed
+    count is derived from it, so unrelated pre-existing records (other
+    parameters/scenarios in the same directory) are not misreported as
+    reuse.
+    """
+    total = len(store)
+    fresh = total - cells_before
+    resumed = max(expected - fresh, 0)
+    line = f"records: {store.records_path} ({total} cells, {fresh} new"
+    if resumed:
+        line += f", {resumed} resumed from previous records"
+    return line + ")"
+
+
+_SWEEP_ROLES = ("topology", "workload", "dynamics")
+
+
+def _cmd_sweep(args) -> int:
+    import repro.scenarios as scenarios
+    from repro.sim import format_series
+    from repro.sim.runner import sweep as run_sweep
+
+    try:
+        scenario = scenarios.get_scenario(args.name)
+        role, separator, key = args.axis.partition(".")
+        if not separator or role not in _SWEEP_ROLES or not key:
+            raise scenarios.ScenarioError(
+                f"expected --axis ROLE.KEY with ROLE one of "
+                f"{', '.join(_SWEEP_ROLES)}, got {args.axis!r}"
+            )
+        values = [value for value in args.values.split(",") if value]
+        if not values:
+            raise scenarios.ScenarioError("--values needs at least one value")
+    except scenarios.ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    store = None
+    cells_before = 0
+    if args.out:
+        from repro.eval.store import ExperimentStore
+
+        store = ExperimentStore(args.out)
+        store.merge_shards()
+        cells_before = len(store)
+        if store.records_path.exists() and not args.resume:
+            print(
+                f"error: {store.records_path} already holds records; pass "
+                "--resume to continue the sweep or choose a fresh --out",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.resume:
+        print("error: --resume requires --out DIR", file=sys.stderr)
+        return 2
+
+    def scenario_for(value):
+        overrides = {
+            "topology_overrides": {},
+            "workload_overrides": {},
+            "dynamics_overrides": {},
+        }
+        overrides[f"{role}_overrides"][key] = value
+        if args.transactions is not None and not (
+            role == "workload" and key == "transactions"
+        ):
+            overrides["workload_overrides"]["transactions"] = args.transactions
+        return scenario.factory(
+            topology_overrides=overrides["topology_overrides"],
+            workload_overrides=overrides["workload_overrides"],
+            dynamics_overrides=overrides["dynamics_overrides"] or None,
+        )
+
+    print(
+        f"sweep scenario={scenario.name} axis={args.axis} "
+        f"values={','.join(values)} runs={args.runs} seed={args.seed}"
+    )
+    cell_params = {
+        "axis": args.axis,
+        "base": _scenario_cell_params(scenario, {}, {}, {}),
+    }
+    if args.transactions is not None:
+        cell_params["transactions"] = args.transactions
+    try:
+        series = run_sweep(
+            values,
+            scenario_for,
+            paper_benchmark_factories(),
+            runs=args.runs,
+            base_seed=args.seed,
+            workers=args.workers,
+            store=store,
+            experiment=scenario.name,
+            cell_params=cell_params,
+        )
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    blocks = []
+    for label, metric, scale in (
+        ("success ratio (%)", "success_ratio", 100.0),
+        ("succeeded volume", "success_volume", 1.0),
+        ("probe messages", "probe_messages", 1.0),
+    ):
+        blocks.append(
+            format_series(
+                args.axis,
+                values,
+                {
+                    name: [scale * getattr(m, metric) for m in metrics]
+                    for name, metrics in series.items()
+                },
+                label,
+            )
+        )
+    output = "\n\n".join(blocks)
+    print(output)
+    if store is not None:
+        sweep_path = store.directory / "sweep.md"
+        sweep_path.write_text(
+            f"# {scenario.name} — sweep {args.axis}\n\n"
+            f"values: {', '.join(values)} · runs={args.runs} "
+            f"seed={args.seed}\n\n```\n{output}\n```\n",
+            encoding="utf-8",
+        )
+        expected = len(values) * args.runs * len(series)
+        print(_records_line(store, cells_before, expected))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.eval.report import check_golden, generate_report
+
+    try:
+        artifacts = generate_report(
+            out_dir=args.out,
+            smoke=args.smoke,
+            runs=args.runs,
+            transactions=args.transactions,
+            seed=args.seed,
+            workers=args.workers,
+            fresh=args.fresh,
+            progress=print,
+        )
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.check_golden:
+        problems = check_golden(
+            artifacts.out_dir / "tables", args.check_golden
+        )
+        if problems:
+            for problem in problems:
+                print(f"golden drift: {problem}", file=sys.stderr)
+            return 1
+        print(f"golden tables match ({args.check_golden})")
+    return 0
+
+
+def _add_seed_flag(subparser: argparse.ArgumentParser) -> None:
+    """A per-subcommand ``--seed`` that overrides the global one.
+
+    ``SUPPRESS`` keeps the subparser from clobbering the root parser's
+    already-parsed value when the flag is absent (an argparse gotcha:
+    subparser defaults overwrite parent results).
+    """
+    subparser.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="base RNG seed (overrides the global --seed)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -445,7 +674,126 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="override a dynamics parameter (repeatable)",
     )
+    _add_seed_flag(run)
+    run.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="persist per-run records (records.jsonl) and the comparison "
+        "table under DIR",
+    )
     run.set_defaults(func=_cmd_run)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="sweep one scenario parameter across several values",
+        description="Run a registered scenario once per value of one "
+        "parameter (--axis ROLE.KEY, ROLE one of topology/workload/"
+        "dynamics; list-scenarios --verbose shows every KEY) and print "
+        "one series table per headline metric. With --out DIR every "
+        "completed (scheme, seed) cell is persisted to DIR/records.jsonl; "
+        "--resume continues an interrupted sweep without recomputing "
+        "completed cells. Scenarios: "
+        + ", ".join(scenarios.scenario_names())
+        + ".",
+    )
+    sweep.add_argument("name", help="a scenario name from list-scenarios")
+    sweep.add_argument(
+        "--axis",
+        required=True,
+        metavar="ROLE.KEY",
+        help="the swept parameter, e.g. topology.capacity_median",
+    )
+    sweep.add_argument(
+        "--values",
+        required=True,
+        metavar="V1,V2,...",
+        help="comma-separated values for the swept parameter",
+    )
+    sweep.add_argument(
+        "--runs", type=int, default=2, help="seeded replications per value"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallelize the seeded runs over N fork workers",
+    )
+    sweep.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="shorthand for --workload-param transactions=N",
+    )
+    _add_seed_flag(sweep)
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="persist per-cell records under DIR (enables --resume)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep from DIR/records.jsonl "
+        "(completed cells are not recomputed)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = subparsers.add_parser(
+        "report",
+        help="generate the paper's headline comparison report",
+        description="Run the headline experiment matrix (Flash vs the "
+        "four baselines on every scenario whose eval matrix opts in) and "
+        "write markdown tables, figures, summary.json, and REPORT.md "
+        "under --out. Re-running resumes from DIR/records.jsonl; "
+        "--smoke runs the reduced deterministic subset that CI "
+        "golden-checks; --check-golden compares the generated tables "
+        "against a committed golden directory and exits 1 on drift. "
+        "Methodology: docs/RESULTS.md.",
+    )
+    report.add_argument(
+        "--out",
+        metavar="DIR",
+        default="results",
+        help="output directory (default: results/)",
+    )
+    report.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced deterministic matrix for CI drift checks",
+    )
+    report.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="override every scenario's seeded replication count",
+    )
+    report.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="override every scenario's workload size",
+    )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallelize the seeded runs over N fork workers",
+    )
+    _add_seed_flag(report)
+    report.add_argument(
+        "--fresh",
+        action="store_true",
+        help="clear DIR/records.jsonl first instead of resuming",
+    )
+    report.add_argument(
+        "--check-golden",
+        metavar="DIR",
+        default=None,
+        help="compare generated tables against golden DIR; exit 1 on drift",
+    )
+    report.set_defaults(func=_cmd_report)
 
     return parser
 

@@ -1,4 +1,11 @@
-"""Experiment drivers: one per paper figure, plus ablations."""
+"""Experiment drivers, persistent store, aggregation, and reporting.
+
+One driver per paper figure (:mod:`repro.eval.experiments`), ablations
+(:mod:`repro.eval.ablations`), the append-only experiment store that
+makes sweeps resumable (:mod:`repro.eval.store`), seed aggregation
+(:mod:`repro.eval.aggregate`), and the headline report generator behind
+``repro report`` (:mod:`repro.eval.report`).
+"""
 
 from repro.eval.ablations import (
     KSweepResult,
@@ -28,6 +35,18 @@ from repro.eval.experiments import (
     fig11_mice_paths_sweep,
     testbed_figure,
 )
+from repro.eval.aggregate import (
+    MetricStats,
+    pivot_markdown,
+    pivot_metric,
+    t_critical_95,
+)
+from repro.eval.report import (
+    ReportArtifacts,
+    check_golden,
+    generate_report,
+    report_factories,
+)
 from repro.eval.scenarios import (
     BENCH_LIGHTNING,
     BENCH_RIPPLE,
@@ -36,10 +55,19 @@ from repro.eval.scenarios import (
     ScenarioConfig,
     build_scenario,
 )
+from repro.eval.store import (
+    ExperimentStore,
+    canonical_json,
+    make_record,
+    params_hash,
+)
 
 __all__ = [
     "BENCH_LIGHTNING",
     "BENCH_RIPPLE",
+    "ExperimentStore",
+    "MetricStats",
+    "ReportArtifacts",
     "Fig10Result",
     "Fig11Result",
     "Fig3Result",
@@ -58,6 +86,8 @@ __all__ = [
     "ablation_mice_order",
     "ablation_path_finding",
     "build_scenario",
+    "canonical_json",
+    "check_golden",
     "exact_max_flow",
     "fig10_threshold_sweep",
     "fig11_mice_paths_sweep",
@@ -67,5 +97,12 @@ __all__ = [
     "fig7_load_sweep",
     "fig8_probing_overhead",
     "fig9_fee_optimization",
+    "generate_report",
+    "make_record",
+    "params_hash",
+    "pivot_markdown",
+    "pivot_metric",
+    "report_factories",
+    "t_critical_95",
     "testbed_figure",
 ]

@@ -1,0 +1,140 @@
+"""Aggregation over stored run records: mean, CI, per-metric pivots.
+
+The paper reports each metric as the average of several seeded runs
+(§4.1); this module turns the experiment store's per-run records
+(:mod:`repro.eval.store`) into that shape — a per-metric **pivot**
+(scenario × scheme → mean ± 95% confidence interval) plus markdown
+renderings with fixed float precision so generated tables diff cleanly
+and golden-file tests are deterministic.
+
+The confidence interval uses the Student-t critical value for the
+two-sided 95% level (the correct small-sample interval for 2–5 seeds;
+no SciPy dependency — the critical values are tabulated below).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+#: Above df=30 the normal approximation (1.960) is used.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """The two-sided 95% Student-t critical value for ``df`` degrees."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return _T_95.get(df, 1.960)
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean and 95% CI half-width of one metric over ``n`` seeds."""
+
+    n: int
+    mean: float
+    ci95: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricStats":
+        """Stats over per-seed values; a single seed has a zero CI."""
+        if not values:
+            raise ValueError("no values to aggregate")
+        n = len(values)
+        mean = sum(values) / n
+        if n == 1:
+            return cls(n=n, mean=mean, ci95=0.0)
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half_width = t_critical_95(n - 1) * math.sqrt(variance / n)
+        return cls(n=n, mean=mean, ci95=half_width)
+
+
+#: One pivot: ``{scenario: {scheme: MetricStats}}``.
+Pivot = dict[str, dict[str, MetricStats]]
+
+
+def pivot_metric(records: Iterable[Mapping], metric: str) -> Pivot:
+    """Aggregate stored records into a scenario × scheme pivot.
+
+    ``records`` are store dicts (see
+    :func:`repro.eval.store.make_record`); runs of the same
+    (scenario, scheme) cell family are averaged across their run
+    indices.  Scenario and scheme orders follow first appearance so
+    callers control ordering by pre-filtering/sorting the records.
+    """
+    values: dict[str, dict[str, list[float]]] = {}
+    for record in records:
+        scenario = record["scenario"]
+        scheme = record["scheme"]
+        values.setdefault(scenario, {}).setdefault(scheme, []).append(
+            float(record["metrics"][metric])
+        )
+    return {
+        scenario: {
+            scheme: MetricStats.of(seed_values)
+            for scheme, seed_values in by_scheme.items()
+        }
+        for scenario, by_scheme in values.items()
+    }
+
+
+def format_stats(
+    stats: MetricStats,
+    spec: str = ".6g",
+    scale: float = 1.0,
+) -> str:
+    """``mean ± ci`` with fixed precision (``spec``), optionally scaled.
+
+    ``scale`` converts units for display (e.g. ``100`` renders a ratio
+    as a percentage); fixed format specs keep golden files stable.
+    """
+    mean = format(stats.mean * scale, spec)
+    if stats.n == 1:
+        return mean
+    return f"{mean} ± {format(stats.ci95 * scale, spec)}"
+
+
+def pivot_markdown(
+    pivot: Pivot,
+    scenarios: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+    spec: str = ".6g",
+    scale: float = 1.0,
+) -> str:
+    """One pivot as a GitHub markdown table: schemes down, scenarios across.
+
+    Explicit ``scenarios``/``schemes`` fix row/column order (missing
+    cells render as ``—``); by default both follow pivot insertion
+    order.
+    """
+    if scenarios is None:
+        scenarios = list(pivot)
+    if schemes is None:
+        seen: dict[str, None] = {}
+        for by_scheme in pivot.values():
+            for scheme in by_scheme:
+                seen.setdefault(scheme)
+        schemes = list(seen)
+    lines = [
+        "| scheme | " + " | ".join(scenarios) + " |",
+        "| --- |" + " --- |" * len(scenarios),
+    ]
+    for scheme in schemes:
+        cells = []
+        for scenario in scenarios:
+            stats = pivot.get(scenario, {}).get(scheme)
+            cells.append(
+                format_stats(stats, spec, scale) if stats else "—"
+            )
+        lines.append(f"| {scheme} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

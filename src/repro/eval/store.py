@@ -1,0 +1,303 @@
+"""Persistent experiment store: append-only JSONL run records.
+
+Every simulation cell — one (scenario, scheme, base_seed, run_index,
+params) combination — is recorded as one JSON line in
+``<directory>/records.jsonl``.  The runner writes through this store
+(see :func:`repro.sim.runner.run_comparison`), which makes sweeps
+**resumable**: re-invoking the same sweep over the same store skips
+every cell that already has a record, and the loaded metrics are
+float-exact (shortest-roundtrip JSON), so resumed aggregates are
+byte-identical to a clean serial run.
+
+Parallel runs are **shard-safe**: each fork worker appends to its own
+``records.shard-<pid>.jsonl`` file, and the parent merges the shards
+into the main record file once the pool drains (duplicates are dropped
+by cell id).  A sweep killed mid-pool therefore keeps every completed
+run.
+
+Serialization is canonical — sorted keys, compact separators, and an
+optional fixed float precision — so stored records and generated
+reports diff cleanly across platforms and golden-file tests are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+#: Significant digits used when hashing parameters and when emitting
+#: aggregate JSON outputs.  Record metrics are stored at full
+#: shortest-roundtrip precision so resume is float-exact.
+CANONICAL_DIGITS = 10
+
+RECORDS_NAME = "records.jsonl"
+SHARD_PREFIX = "records.shard-"
+
+
+def canonical_float(value: float, digits: int = CANONICAL_DIGITS) -> float:
+    """``value`` rounded to ``digits`` significant digits, ``-0.0`` fixed.
+
+    Shortest-roundtrip ``repr`` already makes Python floats portable;
+    rounding to a fixed number of significant digits additionally makes
+    *formatted outputs* stable against summation-order noise, and the
+    ``-0.0`` normalization keeps signed zeros from leaking into diffs.
+    """
+    if value == 0:
+        return 0.0
+    rounded = float(f"{value:.{digits}g}")
+    return 0.0 if rounded == 0 else rounded
+
+
+def canonicalize(obj: object, float_digits: int | None = None) -> object:
+    """Recursively normalize floats (and reject non-finite values).
+
+    Returns a plain-JSON-types copy of ``obj`` suitable for
+    ``json.dumps`` with any formatting options; :func:`canonical_json`
+    is the one-call compact form.
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite float {obj!r} in canonical JSON")
+        if float_digits:
+            return canonical_float(obj, float_digits)
+        return 0.0 if obj == 0 else obj  # normalize -0.0 at full precision
+    if isinstance(obj, Mapping):
+        return {str(k): canonicalize(v, float_digits) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v, float_digits) for v in obj]
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj: object, float_digits: int | None = None) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN.
+
+    ``float_digits`` rounds every float to that many significant digits
+    (use :data:`CANONICAL_DIGITS` for human-facing outputs); ``None``
+    keeps full shortest-roundtrip precision (used for run records so a
+    resumed sweep reloads the exact floats it stored).
+    """
+    return json.dumps(
+        canonicalize(obj, float_digits),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def params_hash(params: Mapping[str, object] | None) -> str:
+    """A short stable hash of a parameter mapping.
+
+    Key order never matters (canonical JSON sorts), and floats are
+    rounded to :data:`CANONICAL_DIGITS` significant digits so a
+    parameter computed two slightly-different ways still lands in the
+    same cell.
+    """
+    payload = canonical_json(dict(params or {}), float_digits=CANONICAL_DIGITS)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def cell_id(
+    scenario: str,
+    scheme: str,
+    base_seed: int,
+    run_index: int,
+    digest: str,
+) -> str:
+    """The store key of one run cell: scenario × scheme × seed × params."""
+    return f"{scenario}|{scheme}|seed{base_seed}|run{run_index}|{digest}"
+
+
+def machine_provenance() -> dict[str, str]:
+    """Where a record was produced: interpreter, platform, package."""
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "repro_version": __version__,
+    }
+
+
+def make_record(
+    scenario: str,
+    scheme: str,
+    base_seed: int,
+    run_index: int,
+    params: Mapping[str, object] | None,
+    metrics: Mapping[str, float],
+    digest: str | None = None,
+    router: str | None = None,
+) -> dict:
+    """Assemble one run record (the JSONL line, pre-serialization).
+
+    ``scheme`` is the comparison key (the factory-dict name); ``router``
+    is the router's own display name when it differs (ablations key the
+    same router under several configurations).
+    """
+    params = dict(params or {})
+    digest = digest or params_hash(params)
+    return {
+        "cell": cell_id(scenario, scheme, base_seed, run_index, digest),
+        "scenario": scenario,
+        "scheme": scheme,
+        "router": router or scheme,
+        "base_seed": base_seed,
+        "run_index": run_index,
+        "params_hash": digest,
+        "params": params,
+        "metrics": dict(metrics),
+        "provenance": machine_provenance(),
+        "created_unix": int(time.time()),
+    }
+
+
+class ExperimentStore:
+    """Append-only JSONL store of run records under one directory.
+
+    The main record file is ``records.jsonl``; fork workers write
+    ``records.shard-<token>.jsonl`` siblings that
+    :meth:`merge_shards` folds in.  Records are keyed by
+    :func:`cell_id`; on duplicate cells the *first* record wins (a cell
+    is immutable once computed — recomputation is deterministic, so a
+    duplicate carries no new information).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Parsed-record cache for the main file, validated by stat
+        # signature so external appends (other processes) invalidate it.
+        self._cache: dict[str, dict] = {}
+        self._cache_signature: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------- paths
+
+    @property
+    def records_path(self) -> Path:
+        """The main ``records.jsonl`` file."""
+        return self.directory / RECORDS_NAME
+
+    def shard_path(self, token: object) -> Path:
+        """The shard file a worker identified by ``token`` appends to."""
+        return self.directory / f"{SHARD_PREFIX}{token}.jsonl"
+
+    def _shard_paths(self) -> list[Path]:
+        return sorted(self.directory.glob(f"{SHARD_PREFIX}*.jsonl"))
+
+    # ------------------------------------------------------------ reading
+
+    @staticmethod
+    def _read_lines(path: Path) -> Iterable[dict]:
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn line (process killed or disk full mid-append)
+                    # must not brick recovery: the cell simply counts as
+                    # missing and is recomputed on resume.
+                    continue
+
+    def _main_records(self) -> dict[str, dict]:
+        """The main file's records, re-parsed only when the file changed.
+
+        Repeated ``load()``/``completed_cells()``/``len()`` calls (one
+        sweep makes several per swept value) would otherwise re-parse
+        the whole JSONL each time — O(total records) per call.
+        """
+        try:
+            stat = self.records_path.stat()
+        except FileNotFoundError:
+            self._cache, self._cache_signature = {}, None
+            return self._cache
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if signature != self._cache_signature:
+            records: dict[str, dict] = {}
+            for record in self._read_lines(self.records_path):
+                records.setdefault(record["cell"], record)
+            self._cache, self._cache_signature = records, signature
+        return self._cache
+
+    def load(self, include_shards: bool = False) -> dict[str, dict]:
+        """All records keyed by cell id (first record per cell wins)."""
+        records = dict(self._main_records())
+        if include_shards:
+            for path in self._shard_paths():
+                for record in self._read_lines(path):
+                    records.setdefault(record["cell"], record)
+        return records
+
+    def completed_cells(self) -> set[str]:
+        """Cell ids present in the main record file."""
+        return set(self.load())
+
+    def records(self) -> list[dict]:
+        """All merged records in file order."""
+        return list(self.load().values())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __bool__(self) -> bool:
+        """A store handle is always truthy, even with zero records.
+
+        Without this, ``if store:`` on a fresh store would silently take
+        the no-store branch via ``__len__`` — a footgun for callers that
+        mean ``store is not None``.
+        """
+        return True
+
+    # ------------------------------------------------------------ writing
+
+    @staticmethod
+    def _append_line(path: Path, record: Mapping) -> None:
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(canonical_json(record) + "\n")
+            handle.flush()
+
+    def append(self, record: Mapping) -> None:
+        """Append one record to the main file (caller dedupes by cell)."""
+        self._append_line(self.records_path, record)
+
+    def shard_append(self, token: object, record: Mapping) -> None:
+        """Append one record to a per-worker shard file."""
+        self._append_line(self.shard_path(token), record)
+
+    def merge_shards(self) -> int:
+        """Fold every shard into the main file; returns merged count.
+
+        Cells already present in the main file are skipped, so merging
+        after a partially-failed pool (or merging twice) never
+        duplicates records.  Shard files are deleted after merging.
+        """
+        known = self.completed_cells()
+        merged = 0
+        for shard in self._shard_paths():
+            for record in self._read_lines(shard):
+                if record["cell"] not in known:
+                    self.append(record)
+                    known.add(record["cell"])
+                    merged += 1
+            shard.unlink()
+        return merged
+
+    def clear(self) -> None:
+        """Delete the record file and all shards (``report --fresh``)."""
+        for path in [self.records_path, *self._shard_paths()]:
+            if path.exists():
+                path.unlink()

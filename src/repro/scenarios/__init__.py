@@ -22,6 +22,7 @@ from repro.scenarios.registry import (
     SCENARIOS,
     TOPOLOGIES,
     WORKLOADS,
+    EvalMatrix,
     ParamSpec,
     Registry,
     RegistryEntry,
@@ -33,6 +34,7 @@ from repro.scenarios.registry import (
     register_scenario,
     register_topology,
     register_workload,
+    report_scenarios,
     scenario_names,
 )
 
@@ -41,6 +43,7 @@ from repro.scenarios import catalog as _catalog  # noqa: E402  (import for effec
 
 __all__ = [
     "DYNAMICS",
+    "EvalMatrix",
     "ParamSpec",
     "Registry",
     "RegistryEntry",
@@ -59,5 +62,6 @@ __all__ = [
     "register_scenario",
     "register_topology",
     "register_workload",
+    "report_scenarios",
     "scenario_names",
 ]

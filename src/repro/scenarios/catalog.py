@@ -35,6 +35,7 @@ from repro.network.topology import (
 )
 from repro.scenarios.loaders import load_snapshot
 from repro.scenarios.registry import (
+    EvalMatrix,
     ParamSpec,
     register_dynamics,
     register_scenario,
@@ -393,6 +394,7 @@ register_scenario(
     topology="ripple-synthetic",
     workload="ripple-trace",
     figure="Figs 6a/7a/8 (benchmark scale)",
+    eval_matrix=EvalMatrix(report=True),
 )
 
 register_scenario(
@@ -401,6 +403,7 @@ register_scenario(
     topology="lightning-synthetic",
     workload="lightning-trace",
     figure="Figs 6b/7b (benchmark scale)",
+    eval_matrix=EvalMatrix(report=True),
 )
 
 register_scenario(
@@ -409,6 +412,7 @@ register_scenario(
     topology="ripple-snapshot",
     workload="ripple-trace",
     figure="Fig 6a (snapshot-loaded topology)",
+    eval_matrix=EvalMatrix(report=True, smoke=True),
 )
 
 register_scenario(
@@ -417,6 +421,7 @@ register_scenario(
     topology="lightning-snapshot",
     workload="lightning-trace",
     figure="Fig 6b (snapshot-loaded topology)",
+    eval_matrix=EvalMatrix(report=True, smoke=True),
 )
 
 register_scenario(

@@ -201,6 +201,33 @@ def register_dynamics(
 
 
 @dataclass(frozen=True)
+class EvalMatrix:
+    """A scenario's default evaluation matrix for ``repro report``.
+
+    ``report=True`` opts the scenario into the headline comparison that
+    :mod:`repro.eval.report` generates (Flash vs the four baselines);
+    ``runs``/``transactions`` are the full-report defaults and the
+    ``smoke_*`` pair the reduced CI drift-check configuration.
+    ``smoke=True`` additionally includes the scenario in
+    ``repro report --smoke`` (keep that set small and deterministic —
+    its tables are golden-checked in CI).
+    """
+
+    report: bool = False
+    runs: int = 3
+    transactions: int = 250
+    smoke: bool = False
+    smoke_runs: int = 2
+    smoke_transactions: int = 30
+
+    def config(self, smoke: bool) -> tuple[int, int]:
+        """The ``(runs, transactions)`` pair for full or smoke mode."""
+        if smoke:
+            return self.smoke_runs, self.smoke_transactions
+        return self.runs, self.transactions
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A named (topology x workload x dynamics) composition.
 
@@ -208,6 +235,8 @@ class Scenario:
     scenarios that go beyond the paper).  Parameter dicts here are the
     *scenario-level* defaults layered over each ingredient's own
     defaults; :meth:`factory` layers per-call overrides on top of both.
+    ``eval_matrix`` carries the scenario's default evaluation
+    configuration for the report generator (see :class:`EvalMatrix`).
     """
 
     name: str
@@ -219,6 +248,7 @@ class Scenario:
     workload_params: Mapping[str, object] = field(default_factory=dict)
     dynamics_params: Mapping[str, object] = field(default_factory=dict)
     figure: str = ""
+    eval_matrix: EvalMatrix = field(default_factory=EvalMatrix)
 
     def ingredients(self) -> str:
         """Human-readable ``topology x workload [+ dynamics]`` summary."""
@@ -297,6 +327,7 @@ def register_scenario(
     workload_params: Mapping[str, object] | None = None,
     dynamics_params: Mapping[str, object] | None = None,
     figure: str = "",
+    eval_matrix: EvalMatrix | None = None,
 ) -> Scenario:
     """Compose registered ingredients into a named scenario.
 
@@ -313,6 +344,10 @@ def register_scenario(
             f"scenario {name!r} sets dynamics_params "
             f"{sorted(dynamics_params)} but no dynamics ingredient"
         )
+    if eval_matrix is not None and eval_matrix.smoke and not eval_matrix.report:
+        raise ScenarioError(
+            f"scenario {name!r} marks smoke=True without report=True"
+        )
     scenario = Scenario(
         name=name,
         description=description,
@@ -323,6 +358,7 @@ def register_scenario(
         workload_params=dict(workload_params or {}),
         dynamics_params=dict(dynamics_params or {}),
         figure=figure,
+        eval_matrix=eval_matrix or EvalMatrix(),
     )
     # Eager validation: ingredient lookup + parameter binding both raise
     # ScenarioError on any mismatch.
@@ -354,3 +390,17 @@ def iter_scenarios() -> Iterator[Scenario]:
     """Registered scenarios in name order."""
     for name in scenario_names():
         yield SCENARIOS[name]
+
+
+def report_scenarios(smoke: bool = False) -> list[Scenario]:
+    """Scenarios opted into the headline report matrix, in name order.
+
+    ``smoke=True`` restricts to the deterministic smoke subset whose
+    tables are golden-checked in CI.
+    """
+    return [
+        scenario
+        for scenario in iter_scenarios()
+        if scenario.eval_matrix.report
+        and (scenario.eval_matrix.smoke or not smoke)
+    ]

@@ -11,16 +11,20 @@ from repro.sim.factories import (
     spider_factory,
 )
 from repro.sim.metrics import (
+    METRIC_FIELDS,
     AveragedMetrics,
     SimulationResult,
+    StoredResult,
     TransactionRecord,
 )
 from repro.sim.results import format_number, format_series, format_table
 from repro.sim.runner import (
+    DEFAULT_MICE_FRACTION,
     DEFAULT_RUNS,
     ComparisonResult,
     ScenarioBuild,
     ScenarioFactory,
+    cell_digest,
     resolve_scenario,
     run_comparison,
     sweep,
@@ -29,11 +33,14 @@ from repro.sim.runner import (
 __all__ = [
     "AveragedMetrics",
     "ComparisonResult",
+    "DEFAULT_MICE_FRACTION",
     "DEFAULT_RUNS",
+    "METRIC_FIELDS",
     "RouterFactory",
     "ScenarioBuild",
     "ScenarioFactory",
     "SimulationResult",
+    "StoredResult",
     "TransactionRecord",
     "flash_all_elephant_factory",
     "flash_factory",
@@ -42,6 +49,7 @@ __all__ = [
     "format_table",
     "landmark_factory",
     "paper_benchmark_factories",
+    "cell_digest",
     "resolve_scenario",
     "run_comparison",
     "run_simulation",

@@ -8,8 +8,26 @@ the elephant/mice breakdown needed by the Fig 10/11 microbenchmarks.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+
+#: The per-run metric fields persisted to the experiment store
+#: (:mod:`repro.eval.store`) and consumed by :meth:`AveragedMetrics.of`.
+#: Order is the canonical column order of generated reports.
+METRIC_FIELDS: tuple[str, ...] = (
+    "transactions",
+    "success_ratio",
+    "success_volume",
+    "probe_messages",
+    "payment_messages",
+    "fee_to_volume_percent",
+    "mice_success_ratio",
+    "elephant_success_ratio",
+    "mice_success_volume",
+    "elephant_success_volume",
+    "mice_probe_messages",
+    "elephant_probe_messages",
+)
 
 
 @dataclass(frozen=True)
@@ -119,6 +137,52 @@ class SimulationResult:
             "payment_messages": float(self.payment_messages),
             "fee_to_volume_percent": self.fee_to_volume_percent,
         }
+
+    def to_record(self) -> dict[str, float]:
+        """Every :data:`METRIC_FIELDS` value as a flat float dict.
+
+        This is the structured record the experiment store persists; it
+        carries everything :meth:`AveragedMetrics.of` reads, so a stored
+        run can stand in for a live :class:`SimulationResult` when a
+        sweep resumes (see :class:`StoredResult`).
+        """
+        return {name: float(getattr(self, name)) for name in METRIC_FIELDS}
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """A run reloaded from the experiment store.
+
+    Field names mirror the :class:`SimulationResult` properties that
+    :meth:`AveragedMetrics.of` consumes, so stored and freshly-computed
+    runs mix transparently in one average.  Metrics are stored at full
+    float precision, which keeps resumed aggregates bit-identical to a
+    clean serial run.
+    """
+
+    scheme: str
+    transactions: float
+    success_ratio: float
+    success_volume: float
+    probe_messages: float
+    payment_messages: float
+    fee_to_volume_percent: float
+    mice_success_ratio: float
+    elephant_success_ratio: float
+    mice_success_volume: float
+    elephant_success_volume: float
+    mice_probe_messages: float
+    elephant_probe_messages: float
+
+    @classmethod
+    def from_record(
+        cls, scheme: str, metrics: Mapping[str, float]
+    ) -> "StoredResult":
+        """Rehydrate from a store record's ``metrics`` mapping."""
+        return cls(
+            scheme=scheme,
+            **{name: float(metrics[name]) for name in METRIC_FIELDS},
+        )
 
 
 @dataclass(frozen=True)

@@ -13,22 +13,36 @@ method sidesteps that by inheriting them through process memory, and the
 per-run results (plain dataclasses of floats) pickle back.  Result order
 is by run index regardless of completion order, so parallel metrics are
 identical to serial ones.
+
+Passing ``store=`` (an :class:`repro.eval.store.ExperimentStore`) makes
+both entry points **write-through and resumable**: every completed
+(scheme, run) cell is appended to the store as it finishes, and a
+re-invocation with the same store skips every cell that is already
+recorded — an interrupted sweep picks up where it died, and the merged
+aggregates are float-identical to a clean serial run.  Parallel workers
+append to per-process shard files that are merged (and deduplicated)
+when the pool drains, so a killed pool still keeps its completed runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
 import threading
 import zlib
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.network.dynamics import ChannelEvent, run_dynamic_simulation
 from repro.network.graph import ChannelGraph
 from repro.sim.engine import RouterFactory, run_simulation
-from repro.sim.metrics import AveragedMetrics, SimulationResult
+from repro.sim.metrics import AveragedMetrics, SimulationResult, StoredResult
 from repro.traces.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (eval -> sim)
+    from repro.eval.store import ExperimentStore
 
 #: What one seeded build yields: ``(graph, workload)``, or
 #: ``(graph, workload, events)`` when the scenario includes topology
@@ -43,6 +57,28 @@ ScenarioBuild = (
 ScenarioFactory = Callable[[random.Random], ScenarioBuild]
 
 DEFAULT_RUNS = 5
+
+#: The default reference mice fraction (paper: "90% of payments are
+#: mice"); part of every store cell's parameter hash.
+DEFAULT_MICE_FRACTION = 0.9
+
+
+def cell_digest(
+    cell_params: Mapping[str, object] | None,
+    reference_mice_fraction: float = DEFAULT_MICE_FRACTION,
+) -> tuple[dict[str, object], str]:
+    """The ``(params, hash)`` a comparison's store cells are keyed by.
+
+    Single source of truth for the hash recipe: :func:`run_comparison`
+    keys its records through this, and readers (e.g. the report
+    generator) must call it too rather than re-deriving the mapping —
+    a recipe mismatch would silently select zero records.
+    """
+    from repro.eval.store import params_hash
+
+    params = dict(cell_params or {})
+    params["reference_mice_fraction"] = reference_mice_fraction
+    return params, params_hash(params)
 
 
 def resolve_scenario(scenario: ScenarioFactory | str) -> ScenarioFactory:
@@ -119,6 +155,32 @@ def _single_run(
     return results
 
 
+def _run_records(
+    experiment: str,
+    base_seed: int,
+    run_index: int,
+    digest: str,
+    params: Mapping[str, object],
+    results: Mapping[str, SimulationResult],
+) -> list[dict]:
+    """Store records for every scheme of one completed run."""
+    from repro.eval.store import make_record
+
+    return [
+        make_record(
+            experiment,
+            name,
+            base_seed,
+            run_index,
+            params,
+            result.to_record(),
+            digest=digest,
+            router=result.scheme,
+        )
+        for name, result in results.items()
+    ]
+
+
 # Fork workers read their arguments from this module-level slot instead of
 # pickled task payloads: scenario/router factories are closures, which the
 # fork start method inherits for free but pickle rejects.  The lock covers
@@ -131,19 +193,44 @@ _FORK_LOCK = threading.Lock()
 
 def _forked_run(run_index: int) -> dict[str, SimulationResult]:
     assert _FORK_STATE is not None, "worker forked without runner state"
-    scenario, factories, base_seed, reference_mice_fraction = _FORK_STATE
-    return _single_run(
+    (
+        scenario,
+        factories,
+        base_seed,
+        reference_mice_fraction,
+        store_directory,
+        experiment,
+        digest,
+        params,
+    ) = _FORK_STATE
+    results = _single_run(
         scenario, factories, base_seed, reference_mice_fraction, run_index
     )
+    if store_directory is not None:
+        # Persist into a per-process shard before returning: if a later
+        # task (or the parent) dies, this run survives on disk and a
+        # resumed sweep will not recompute it.
+        from repro.eval.store import ExperimentStore
+
+        shard_store = ExperimentStore(store_directory)
+        for record in _run_records(
+            experiment, base_seed, run_index, digest, params, results
+        ):
+            shard_store.shard_append(os.getpid(), record)
+    return results
 
 
 def _run_parallel(
     scenario: ScenarioFactory,
     factories: dict[str, RouterFactory],
-    runs: int,
+    run_indices: Sequence[int],
     base_seed: int,
     reference_mice_fraction: float,
     workers: int,
+    store: "ExperimentStore | None" = None,
+    experiment: str | None = None,
+    digest: str | None = None,
+    params: Mapping[str, object] | None = None,
 ) -> list[dict[str, SimulationResult]] | None:
     """Fan runs out over fork workers; ``None`` if fork is unavailable."""
     global _FORK_STATE
@@ -151,14 +238,30 @@ def _run_parallel(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
+    store_directory = str(store.directory) if store is not None else None
     with _FORK_LOCK:
-        _FORK_STATE = (scenario, factories, base_seed, reference_mice_fraction)
+        _FORK_STATE = (
+            scenario,
+            factories,
+            base_seed,
+            reference_mice_fraction,
+            store_directory,
+            experiment,
+            digest,
+            params,
+        )
         try:
-            pool = context.Pool(processes=min(workers, runs))
+            pool = context.Pool(processes=min(workers, len(run_indices)))
         finally:
             _FORK_STATE = None
-    with pool:
-        return pool.map(_forked_run, range(runs), chunksize=1)
+    try:
+        with pool:
+            return pool.map(_forked_run, run_indices, chunksize=1)
+    finally:
+        # Merge even when a task raised or the pool was interrupted:
+        # shards written by completed workers become durable records.
+        if store is not None:
+            store.merge_shards()
 
 
 def run_comparison(
@@ -166,8 +269,11 @@ def run_comparison(
     factories: dict[str, RouterFactory],
     runs: int = DEFAULT_RUNS,
     base_seed: int = 0,
-    reference_mice_fraction: float = 0.9,
+    reference_mice_fraction: float = DEFAULT_MICE_FRACTION,
     workers: int | None = None,
+    store: "ExperimentStore | None" = None,
+    experiment: str | None = None,
+    cell_params: Mapping[str, object] | None = None,
 ) -> ComparisonResult:
     """Average each scheme over ``runs`` seeded replications.
 
@@ -177,30 +283,100 @@ def run_comparison(
     routing alone.  ``workers=N`` (N > 1) executes the seeded runs in N
     parallel processes; seeds, result order, and therefore every
     averaged metric are identical to the serial path.
+
+    ``store`` persists every (scheme, run) cell as it completes and
+    **skips cells the store already holds**, making re-invocations
+    resumable.  Cells are keyed by ``experiment`` (defaults to the
+    scenario name when ``scenario`` is a registered name), the scheme
+    name, ``base_seed``, the run index, and a hash of ``cell_params``
+    (include anything that changes the scenario's behaviour — overrides,
+    swept values — so different configurations never collide).
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
     if workers is not None and workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
+    if store is not None and experiment is None:
+        if not isinstance(scenario, str):
+            raise ValueError(
+                "run_comparison(store=...) needs experiment= to key the "
+                "records when the scenario is a callable"
+            )
+        experiment = scenario
     scenario = resolve_scenario(scenario)
 
-    run_results: list[dict[str, SimulationResult]] | None = None
-    if workers is not None and workers > 1 and runs > 1:
-        run_results = _run_parallel(
-            scenario, factories, runs, base_seed, reference_mice_fraction, workers
-        )
-    if run_results is None:
-        run_results = [
-            _single_run(
-                scenario, factories, base_seed, reference_mice_fraction, run_index
-            )
-            for run_index in range(runs)
-        ]
+    digest = ""
+    params: dict[str, object] = {}
+    stored: dict[str, dict] = {}
+    if store is not None:
+        from repro.eval.store import cell_id
 
-    per_scheme: dict[str, list[SimulationResult]] = {name: [] for name in factories}
-    for one_run in run_results:
+        params, digest = cell_digest(cell_params, reference_mice_fraction)
+        # Fold in shards orphaned by a killed parent (the pool's own
+        # merge in `finally` never ran), so those completed runs count
+        # as done instead of being recomputed.
+        store.merge_shards()
+        stored = store.load()
+
+        def _cell(name: str, run_index: int) -> str:
+            return cell_id(experiment, name, base_seed, run_index, digest)
+
+        pending = [
+            index
+            for index in range(runs)
+            if any(_cell(name, index) not in stored for name in factories)
+        ]
+    else:
+        pending = list(range(runs))
+
+    fresh: dict[int, dict[str, SimulationResult]] = {}
+    if pending:
+        parallel_results = None
+        if workers is not None and workers > 1 and len(pending) > 1:
+            parallel_results = _run_parallel(
+                scenario,
+                factories,
+                pending,
+                base_seed,
+                reference_mice_fraction,
+                workers,
+                store=store,
+                experiment=experiment,
+                digest=digest,
+                params=params,
+            )
+        if parallel_results is not None:
+            fresh = dict(zip(pending, parallel_results))
+        else:
+            for run_index in pending:
+                results = _single_run(
+                    scenario,
+                    factories,
+                    base_seed,
+                    reference_mice_fraction,
+                    run_index,
+                )
+                fresh[run_index] = results
+                if store is not None:
+                    for record in _run_records(
+                        experiment, base_seed, run_index, digest, params, results
+                    ):
+                        if record["cell"] not in stored:
+                            store.append(record)
+                            stored[record["cell"]] = record
+
+    per_scheme: dict[str, list] = {name: [] for name in factories}
+    for run_index in range(runs):
         for name in factories:
-            per_scheme[name].append(one_run[name])
+            if run_index in fresh:
+                per_scheme[name].append(fresh[run_index][name])
+            else:
+                record = stored[_cell(name, run_index)]
+                per_scheme[name].append(
+                    StoredResult.from_record(
+                        record.get("router", name), record["metrics"]
+                    )
+                )
     return ComparisonResult(
         metrics={
             name: AveragedMetrics.of(results)
@@ -216,6 +392,9 @@ def sweep(
     runs: int = DEFAULT_RUNS,
     base_seed: int = 0,
     workers: int | None = None,
+    store: "ExperimentStore | None" = None,
+    experiment: str | None = None,
+    cell_params: Mapping[str, object] | None = None,
 ) -> dict[str, list[AveragedMetrics]]:
     """Run a parameter sweep: one comparison per value.
 
@@ -224,15 +403,32 @@ def sweep(
     ``scenario_for`` may return a factory callable *or* a registered
     scenario name per value; ``workers`` is forwarded to every
     :func:`run_comparison`.
+
+    With ``store`` the sweep is **resumable**: each swept value's cells
+    carry the value inside their parameter hash, so re-invoking an
+    interrupted sweep over the same store recomputes only the missing
+    cells and reproduces the completed ones float-exactly from disk.
+    ``experiment`` keys the records (required when ``scenario_for``
+    returns callables rather than registered names).
     """
     series: dict[str, list[AveragedMetrics]] = {name: [] for name in factories}
     for value in values:
+        scenario = scenario_for(value)
+        label = experiment
+        if label is None and isinstance(scenario, str):
+            label = scenario
+        value_params: dict[str, object] | None = None
+        if store is not None:
+            value_params = {**dict(cell_params or {}), "sweep_value": value}
         comparison = run_comparison(
-            scenario_for(value),
+            scenario,
             factories,
             runs=runs,
             base_seed=base_seed,
             workers=workers,
+            store=store,
+            experiment=label,
+            cell_params=value_params,
         )
         for name in factories:
             series[name].append(comparison[name])

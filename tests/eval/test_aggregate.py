@@ -1,0 +1,115 @@
+"""Tests for seed aggregation: mean/CI math and markdown pivots."""
+
+import math
+
+import pytest
+
+from repro.eval.aggregate import (
+    MetricStats,
+    format_stats,
+    pivot_markdown,
+    pivot_metric,
+    t_critical_95,
+)
+from repro.eval.store import make_record
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical_95(1) == 12.706
+        assert t_critical_95(4) == 2.776
+        assert t_critical_95(30) == 2.042
+
+    def test_large_df_normal_approximation(self):
+        assert t_critical_95(200) == 1.960
+
+    def test_rejects_zero_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestMetricStats:
+    def test_single_value_zero_ci(self):
+        stats = MetricStats.of([0.8])
+        assert stats == MetricStats(n=1, mean=0.8, ci95=0.0)
+
+    def test_mean_and_ci_two_values(self):
+        stats = MetricStats.of([0.4, 0.6])
+        assert stats.mean == pytest.approx(0.5)
+        # sd = 0.1414..., ci = t(1) * sd / sqrt(2) = 12.706 * 0.1
+        assert stats.ci95 == pytest.approx(12.706 * 0.1, rel=1e-9)
+
+    def test_ci_shrinks_with_more_seeds(self):
+        wide = MetricStats.of([0.4, 0.6])
+        narrow = MetricStats.of([0.4, 0.6, 0.4, 0.6, 0.4, 0.6])
+        assert narrow.ci95 < wide.ci95
+
+    def test_identical_values_zero_ci(self):
+        assert MetricStats.of([2.0, 2.0, 2.0]).ci95 == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MetricStats.of([])
+
+
+def _records():
+    rows = []
+    for scenario, scheme, run_index, ratio in (
+        ("ripple", "Flash", 0, 0.9),
+        ("ripple", "Flash", 1, 1.0),
+        ("ripple", "Spider", 0, 0.6),
+        ("ripple", "Spider", 1, 0.8),
+        ("lightning", "Flash", 0, 0.5),
+    ):
+        rows.append(
+            make_record(
+                scenario,
+                scheme,
+                base_seed=0,
+                run_index=run_index,
+                params={},
+                metrics={"success_ratio": ratio},
+            )
+        )
+    return rows
+
+
+class TestPivot:
+    def test_pivot_aggregates_across_runs(self):
+        pivot = pivot_metric(_records(), "success_ratio")
+        assert pivot["ripple"]["Flash"].n == 2
+        assert pivot["ripple"]["Flash"].mean == pytest.approx(0.95)
+        assert pivot["lightning"]["Flash"].n == 1
+
+    def test_markdown_orders_and_fills_missing(self):
+        pivot = pivot_metric(_records(), "success_ratio")
+        table = pivot_markdown(
+            pivot,
+            scenarios=["ripple", "lightning"],
+            schemes=["Flash", "Spider"],
+            spec=".2f",
+            scale=100.0,
+        )
+        lines = table.splitlines()
+        assert lines[0] == "| scheme | ripple | lightning |"
+        assert "| Flash | 95.00 ±" in lines[2]
+        # Spider never ran on lightning -> em-dash placeholder.
+        assert lines[3].endswith("| — |")
+
+    def test_markdown_defaults_follow_insertion_order(self):
+        pivot = pivot_metric(_records(), "success_ratio")
+        table = pivot_markdown(pivot)
+        assert table.splitlines()[0] == "| scheme | ripple | lightning |"
+
+
+class TestFormatStats:
+    def test_scaled_fixed_precision(self):
+        stats = MetricStats(n=3, mean=0.91234, ci95=0.01567)
+        assert format_stats(stats, ".2f", scale=100.0) == "91.23 ± 1.57"
+
+    def test_single_seed_omits_ci(self):
+        assert format_stats(MetricStats(n=1, mean=0.5, ci95=0.0)) == "0.5"
+
+    def test_deterministic_across_calls(self):
+        stats = MetricStats.of([1 / 3, 2 / 3, math.pi / 4])
+        assert format_stats(stats) == format_stats(stats)

@@ -1,0 +1,165 @@
+"""Tests for the persistent experiment store and canonical serialization."""
+
+import json
+
+import pytest
+
+from repro.eval.store import (
+    CANONICAL_DIGITS,
+    ExperimentStore,
+    canonical_float,
+    canonical_json,
+    canonicalize,
+    cell_id,
+    make_record,
+    params_hash,
+)
+
+
+class TestCanonicalJson:
+    def test_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_nested_keys_sorted(self):
+        text = canonical_json({"outer": {"z": 1, "a": 2}})
+        assert text.index('"a"') < text.index('"z"')
+
+    def test_fixed_precision_rounds_significant_digits(self):
+        text = canonical_json(
+            {"v": 1.2345678901234567}, float_digits=CANONICAL_DIGITS
+        )
+        assert json.loads(text)["v"] == 1.23456789
+
+    def test_full_precision_roundtrips_exactly(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        assert json.loads(canonical_json({"v": value}))["v"] == value
+
+    def test_negative_zero_normalized(self):
+        assert canonical_json({"v": -0.0}) == '{"v":0.0}'
+
+    def test_rejects_nan_and_infinity(self):
+        with pytest.raises(ValueError):
+            canonical_json({"v": float("nan")})
+        with pytest.raises(ValueError):
+            canonical_json({"v": float("inf")})
+
+    def test_rejects_unserializable_types(self):
+        with pytest.raises(TypeError):
+            canonical_json({"v": object()})
+
+    def test_canonical_float_small_rounding_to_zero(self):
+        assert canonical_float(0.0) == 0.0
+        assert canonical_float(-1e-300, digits=2) == -1e-300
+
+    def test_canonicalize_handles_tuples_and_bools(self):
+        assert canonicalize({"t": (1, 2), "b": True}) == {
+            "t": [1, 2],
+            "b": True,
+        }
+
+
+class TestParamsHash:
+    def test_key_order_irrelevant(self):
+        assert params_hash({"a": 1, "b": 2.0}) == params_hash(
+            {"b": 2.0, "a": 1}
+        )
+
+    def test_float_noise_within_precision_collapses(self):
+        assert params_hash({"x": 0.1 + 0.2}) == params_hash({"x": 0.3})
+
+    def test_different_params_differ(self):
+        assert params_hash({"a": 1}) != params_hash({"a": 2})
+
+    def test_none_is_empty(self):
+        assert params_hash(None) == params_hash({})
+
+
+def _record(run_index=0, scheme="Flash", metrics=None):
+    return make_record(
+        "scenario-x",
+        scheme,
+        base_seed=7,
+        run_index=run_index,
+        params={"transactions": 30},
+        metrics=metrics or {"success_ratio": 0.5},
+    )
+
+
+class TestExperimentStore:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        record = _record()
+        store.append(record)
+        loaded = store.load()[record["cell"]]
+        assert loaded["metrics"] == {"success_ratio": 0.5}
+        assert loaded["scenario"] == "scenario-x"
+        assert loaded["provenance"]["repro_version"]
+
+    def test_first_record_wins_on_duplicates(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append(_record(metrics={"success_ratio": 0.5}))
+        store.append(_record(metrics={"success_ratio": 0.9}))
+        assert len(store) == 1
+        (record,) = store.records()
+        assert record["metrics"]["success_ratio"] == 0.5
+
+    def test_completed_cells(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append(_record(run_index=0))
+        store.append(_record(run_index=1))
+        assert store.completed_cells() == {
+            _record(run_index=0)["cell"],
+            _record(run_index=1)["cell"],
+        }
+
+    def test_merge_shards_dedupes_and_deletes(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append(_record(run_index=0))
+        store.shard_append("w1", _record(run_index=0))  # duplicate
+        store.shard_append("w1", _record(run_index=1))
+        store.shard_append("w2", _record(run_index=2))
+        assert store.merge_shards() == 2
+        assert len(store) == 3
+        assert not list(tmp_path.glob("records.shard-*"))
+
+    def test_merge_shards_idempotent(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.shard_append("w1", _record(run_index=0))
+        assert store.merge_shards() == 1
+        assert store.merge_shards() == 0
+
+    def test_clear_removes_records_and_shards(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append(_record())
+        store.shard_append("w1", _record(run_index=1))
+        store.clear()
+        assert len(store) == 0
+        assert not list(tmp_path.glob("records*"))
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append(_record())
+        line = store.records_path.read_text().strip()
+        assert line == canonical_json(json.loads(line))
+
+    def test_cell_id_shape(self):
+        assert cell_id("s", "Flash", 7, 2, "abc") == "s|Flash|seed7|run2|abc"
+
+    def test_torn_trailing_line_does_not_brick_load(self, tmp_path):
+        # A process killed mid-append leaves a truncated final line; the
+        # store must recover (the torn cell just counts as missing).
+        store = ExperimentStore(tmp_path)
+        store.append(_record(run_index=0))
+        whole = canonical_json(_record(run_index=1))
+        with store.records_path.open("a") as handle:
+            handle.write(whole[: len(whole) // 2])
+        assert len(store) == 1
+        assert _record(run_index=0)["cell"] in store.completed_cells()
+
+    def test_torn_shard_line_skipped_on_merge(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.shard_append("w1", _record(run_index=0))
+        with store.shard_path("w1").open("a") as handle:
+            handle.write('{"cell": "trunc')
+        assert store.merge_shards() == 1
+        assert len(store) == 1

@@ -155,6 +155,172 @@ class TestRunScenario:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSeedFlag:
+    def test_global_seed_survives_subcommand_parse(self):
+        args = build_parser().parse_args(["--seed", "9", "run", "x"])
+        assert args.seed == 9
+
+    def test_subcommand_seed_overrides_global(self):
+        args = build_parser().parse_args(["run", "x", "--seed", "4"])
+        assert args.seed == 4
+
+    def test_subcommand_seed_default_is_global_default(self):
+        args = build_parser().parse_args(["run", "x"])
+        assert args.seed == 0
+
+
+class TestRunOut:
+    def test_out_writes_records_and_table(self, tmp_path, capsys):
+        out = tmp_path / "run1"
+        code = main(
+            [
+                "run",
+                "ripple-snapshot",
+                "--transactions",
+                "20",
+                "--runs",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "records.jsonl").exists()
+        assert (out / "comparison.md").exists()
+        assert "records:" in capsys.readouterr().out
+
+    def test_rerun_resumes_from_records(self, tmp_path, capsys):
+        out = tmp_path / "run1"
+        argv = [
+            "run",
+            "ripple-snapshot",
+            "--transactions",
+            "20",
+            "--runs",
+            "1",
+            "--out",
+            str(out),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        before = (out / "records.jsonl").read_bytes()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # No recomputation: identical records and identical metric table.
+        assert (out / "records.jsonl").read_bytes() == before
+        assert "4 new" in first
+
+        def table(text):
+            return [l for l in text.splitlines() if not l.startswith("records:")]
+
+        assert table(first) == table(second)
+        # Reuse is reported, never silent.
+        assert "4 resumed from previous records" in second
+
+
+class TestSweepCLI:
+    ARGS = [
+        "sweep",
+        "ripple-snapshot",
+        "--axis",
+        "topology.scale",
+        "--values",
+        "1.0,2.0",
+        "--runs",
+        "1",
+        "--transactions",
+        "20",
+    ]
+
+    def test_prints_series_tables(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "success ratio (%) \\ topology.scale" in out
+        assert "probe messages" in out
+
+    def test_bad_axis_fails_cleanly(self, capsys):
+        code = main(
+            ["sweep", "ripple-snapshot", "--axis", "scale", "--values", "1"]
+        )
+        assert code == 2
+        assert "ROLE.KEY" in capsys.readouterr().err
+
+    def test_unknown_axis_key_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "ripple-snapshot",
+                "--axis",
+                "topology.nope",
+                "--values",
+                "1",
+            ]
+        )
+        assert code == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_resume_requires_out(self, capsys):
+        code = main(self.ARGS + ["--resume"])
+        assert code == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_existing_records_require_resume(self, tmp_path, capsys):
+        argv = self.ARGS + ["--out", str(tmp_path / "s")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "--resume" in capsys.readouterr().err
+        assert main(argv + ["--resume"]) == 0
+
+    def test_out_writes_sweep_markdown(self, tmp_path, capsys):
+        out = tmp_path / "s"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        assert (out / "sweep.md").exists()
+        assert (out / "records.jsonl").exists()
+
+
+class TestReportCLI:
+    def test_small_report_runs(self, tmp_path, capsys):
+        code = main(
+            [
+                "report",
+                "--out",
+                str(tmp_path / "r"),
+                "--smoke",
+                "--runs",
+                "1",
+                "--transactions",
+                "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "r" / "REPORT.md").exists()
+        assert (tmp_path / "r" / "tables" / "success_ratio.md").exists()
+        assert "report:" in out
+
+    def test_check_golden_flags_drift(self, tmp_path, capsys):
+        golden = tmp_path / "golden"
+        golden.mkdir()
+        (golden / "success_ratio.md").write_text("| nothing |\n")
+        code = main(
+            [
+                "report",
+                "--out",
+                str(tmp_path / "r"),
+                "--smoke",
+                "--runs",
+                "1",
+                "--transactions",
+                "10",
+                "--check-golden",
+                str(golden),
+            ]
+        )
+        assert code == 1
+        assert "golden drift" in capsys.readouterr().err
+
+
 class TestFigure:
     def test_fig3(self, capsys):
         assert main(["figure", "fig3"]) == 0

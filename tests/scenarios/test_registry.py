@@ -100,6 +100,39 @@ class TestScenarioRegistration:
             )
 
 
+class TestEvalMatrix:
+    def test_smoke_without_report_rejected(self):
+        with pytest.raises(ScenarioError, match="smoke=True"):
+            scenarios.register_scenario(
+                "tmp-smoke-no-report",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                eval_matrix=scenarios.EvalMatrix(smoke=True),
+            )
+        assert "tmp-smoke-no-report" not in scenarios.SCENARIOS
+
+    def test_default_matrix_opts_out_of_report(self):
+        matrix = scenarios.get_scenario("ripple-bursty").eval_matrix
+        assert not matrix.report and not matrix.smoke
+
+    def test_config_selects_smoke_pair(self):
+        matrix = scenarios.EvalMatrix(
+            report=True, runs=3, transactions=250, smoke_runs=2,
+            smoke_transactions=30,
+        )
+        assert matrix.config(smoke=False) == (3, 250)
+        assert matrix.config(smoke=True) == (2, 30)
+
+    def test_report_scenarios_sorted_and_flagged(self):
+        full = scenarios.report_scenarios()
+        assert [s.name for s in full] == sorted(s.name for s in full)
+        assert all(s.eval_matrix.report for s in full)
+        smoke = scenarios.report_scenarios(smoke=True)
+        assert {s.name for s in smoke} <= {s.name for s in full}
+        assert all(s.eval_matrix.smoke for s in smoke)
+
+
 class TestCatalogRoundTrip:
     """Every listed name must resolve and build a runnable scenario."""
 

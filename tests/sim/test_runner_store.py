@@ -1,0 +1,324 @@
+"""Sweep/comparison resume semantics through the experiment store.
+
+The satellite requirement: kill a sweep mid-way, re-invoke it, and the
+completed cells must not be recomputed while the merged results stay
+identical to a clean serial run.
+"""
+
+import random
+
+import pytest
+
+from repro.eval.store import ExperimentStore
+from repro.network.topology import grid_topology
+from repro.sim.factories import flash_factory, shortest_path_factory
+from repro.sim.runner import run_comparison, sweep
+from repro.traces.generators import generate_ripple_workload
+
+FACTORIES = {
+    "Flash": flash_factory(k=5, m=2),
+    "Shortest Path": shortest_path_factory(),
+}
+
+
+class CountingScenario:
+    """A seeded grid scenario that counts builds and can be armed to
+    blow up on a chosen swept value (simulating a mid-sweep kill)."""
+
+    def __init__(self, explode_on=None):
+        self.builds = []
+        self.explode_on = explode_on
+
+    def __call__(self, value):
+        def build(rng: random.Random):
+            if value == self.explode_on:
+                raise RuntimeError(f"killed at value {value}")
+            self.builds.append(value)
+            graph = grid_topology(4, 4, balance=100.0 * value)
+            workload = generate_ripple_workload(rng, graph.nodes, 30)
+            return graph, workload
+
+        return build
+
+
+class TestComparisonResume:
+    def test_resumed_comparison_matches_clean_run(self, tmp_path):
+        scenario = CountingScenario()
+        clean = run_comparison(scenario(1.0), FACTORIES, runs=3, base_seed=5)
+        store = ExperimentStore(tmp_path)
+        first = run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=3,
+            base_seed=5,
+            store=store,
+            experiment="grid",
+        )
+        resumed = run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=3,
+            base_seed=5,
+            store=store,
+            experiment="grid",
+        )
+        assert first == clean
+        assert resumed == clean
+
+    def test_resume_skips_recomputation(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        scenario = CountingScenario()
+        run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=2,
+            base_seed=5,
+            store=store,
+            experiment="grid",
+        )
+        builds_after_first = len(scenario.builds)
+        run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=2,
+            base_seed=5,
+            store=store,
+            experiment="grid",
+        )
+        assert len(scenario.builds) == builds_after_first
+
+    def test_extending_runs_only_computes_new_cells(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        scenario = CountingScenario()
+        run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=2,
+            base_seed=5,
+            store=store,
+            experiment="grid",
+        )
+        scenario.builds.clear()
+        extended = run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=4,
+            base_seed=5,
+            store=store,
+            experiment="grid",
+        )
+        assert len(scenario.builds) == 2  # only run indices 2 and 3
+        clean = run_comparison(scenario(1.0), FACTORIES, runs=4, base_seed=5)
+        assert extended == clean
+
+    def test_different_cell_params_do_not_collide(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        scenario = CountingScenario()
+        for variant, value in (("a", 1.0), ("b", 2.0)):
+            run_comparison(
+                scenario(value),
+                FACTORIES,
+                runs=1,
+                store=store,
+                experiment="grid",
+                cell_params={"variant": variant},
+            )
+        # Both variants ran (distinct hashes -> four distinct cells) ...
+        assert len(store) == 4
+        assert len({r["params_hash"] for r in store.records()}) == 2
+        # ... and both scenario variants were actually built.
+        assert scenario.builds == [1.0, 2.0]
+
+    def test_callable_scenario_requires_experiment_name(self, tmp_path):
+        with pytest.raises(ValueError, match="experiment"):
+            run_comparison(
+                CountingScenario()(1.0),
+                FACTORIES,
+                runs=1,
+                store=ExperimentStore(tmp_path),
+            )
+
+    def test_registered_name_defaults_experiment(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_comparison("testbed-smallworld", FACTORIES, runs=1, store=store)
+        (record, *_) = store.records()
+        assert record["scenario"] == "testbed-smallworld"
+
+
+class TestSweepResume:
+    def test_killed_sweep_resumes_without_recomputation(self, tmp_path):
+        values = [1.0, 2.0, 3.0]
+        clean = sweep(values, CountingScenario(), FACTORIES, runs=2, base_seed=3)
+
+        store = ExperimentStore(tmp_path)
+        killed = CountingScenario(explode_on=3.0)
+        with pytest.raises(RuntimeError, match="killed at value"):
+            sweep(
+                values,
+                killed,
+                FACTORIES,
+                runs=2,
+                base_seed=3,
+                store=store,
+                experiment="grid-sweep",
+            )
+        # Values 1.0 and 2.0 completed before the kill and are on disk.
+        assert len(store) == 8  # 2 values x 2 runs x 2 schemes
+
+        resumed_scenario = CountingScenario()
+        resumed = sweep(
+            values,
+            resumed_scenario,
+            FACTORIES,
+            runs=2,
+            base_seed=3,
+            store=store,
+            experiment="grid-sweep",
+        )
+        # Only the killed value's runs were rebuilt...
+        assert resumed_scenario.builds == [3.0, 3.0]
+        # ...and the merged series is identical to the clean serial sweep.
+        assert resumed == clean
+
+    def test_resumed_tables_byte_identical(self, tmp_path):
+        from repro.sim import format_series
+
+        values = [1.0, 2.0]
+
+        def render(series):
+            return format_series(
+                "scale",
+                values,
+                {
+                    name: [m.success_volume for m in metrics]
+                    for name, metrics in series.items()
+                },
+                "volume",
+            )
+
+        clean = render(
+            sweep(values, CountingScenario(), FACTORIES, runs=2, base_seed=1)
+        )
+        store = ExperimentStore(tmp_path)
+        killed = CountingScenario(explode_on=2.0)
+        with pytest.raises(RuntimeError):
+            sweep(
+                values,
+                killed,
+                FACTORIES,
+                runs=2,
+                base_seed=1,
+                store=store,
+                experiment="s",
+            )
+        resumed = render(
+            sweep(
+                values,
+                CountingScenario(),
+                FACTORIES,
+                runs=2,
+                base_seed=1,
+                store=store,
+                experiment="s",
+            )
+        )
+        assert resumed == clean
+
+    def test_parallel_sweep_store_matches_serial(self, tmp_path):
+        values = [1.0, 2.0]
+        serial_store = ExperimentStore(tmp_path / "serial")
+        parallel_store = ExperimentStore(tmp_path / "parallel")
+        serial = sweep(
+            values,
+            CountingScenario(),
+            FACTORIES,
+            runs=3,
+            base_seed=2,
+            store=serial_store,
+            experiment="s",
+        )
+        parallel = sweep(
+            values,
+            CountingScenario(),
+            FACTORIES,
+            runs=3,
+            base_seed=2,
+            workers=2,
+            store=parallel_store,
+            experiment="s",
+        )
+        assert serial == parallel
+        assert (
+            serial_store.completed_cells() == parallel_store.completed_cells()
+        )
+        serial_metrics = {
+            cell: record["metrics"]
+            for cell, record in serial_store.load().items()
+        }
+        parallel_metrics = {
+            cell: record["metrics"]
+            for cell, record in parallel_store.load().items()
+        }
+        assert serial_metrics == parallel_metrics
+        # No leftover shards after the pool drained.
+        assert not list((tmp_path / "parallel").glob("records.shard-*"))
+
+    def test_orphaned_shards_count_as_completed_on_resume(self, tmp_path):
+        # A SIGKILLed parent never reaches the pool's merge_shards();
+        # the next invocation must fold the shards in, not recompute.
+        store = ExperimentStore(tmp_path)
+        seeded = ExperimentStore(tmp_path / "seed-source")
+        scenario = CountingScenario()
+        run_comparison(
+            scenario(1.0),
+            FACTORIES,
+            runs=2,
+            base_seed=6,
+            store=seeded,
+            experiment="grid",
+        )
+        # Simulate the kill: completed cells exist only as a shard.
+        for record in seeded.records():
+            store.shard_append("orphan", record)
+        assert len(store) == 0
+
+        resumed_scenario = CountingScenario()
+        resumed = run_comparison(
+            resumed_scenario(1.0),
+            FACTORIES,
+            runs=2,
+            base_seed=6,
+            store=store,
+            experiment="grid",
+        )
+        assert resumed_scenario.builds == []  # nothing recomputed
+        assert not list(tmp_path.glob("records.shard-*"))
+        clean = run_comparison(scenario(1.0), FACTORIES, runs=2, base_seed=6)
+        assert resumed == clean
+
+    def test_parallel_resume_after_serial_start(self, tmp_path):
+        values = [1.0, 2.0, 3.0]
+        store = ExperimentStore(tmp_path)
+        killed = CountingScenario(explode_on=2.0)
+        with pytest.raises(RuntimeError):
+            sweep(
+                values,
+                killed,
+                FACTORIES,
+                runs=2,
+                base_seed=4,
+                store=store,
+                experiment="s",
+            )
+        resumed = sweep(
+            values,
+            CountingScenario(),
+            FACTORIES,
+            runs=2,
+            base_seed=4,
+            workers=2,
+            store=store,
+            experiment="s",
+        )
+        clean = sweep(values, CountingScenario(), FACTORIES, runs=2, base_seed=4)
+        assert resumed == clean
