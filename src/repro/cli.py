@@ -14,8 +14,11 @@ Examples
     python -m repro run lightning-diurnal --runs 3 --workers 2
     python -m repro run ripple-churn --dynamics-param preset=volatile
     python -m repro run ripple-snapshot --seed 7 --out results/run1
+    python -m repro run payment-storm --runs 3                # concurrent engine
+    python -m repro run ripple-default --engine concurrent --load 100 --timeout 10
     python -m repro sweep ripple-default --axis topology.capacity_median \
         --values 125,250,500 --out results/cap-sweep --resume
+    python -m repro sweep payment-storm --axis engine.load --values 1,300,3000
     python -m repro report --out results
     python -m repro report --smoke --check-golden tests/golden/report_smoke
 
@@ -28,15 +31,21 @@ topologies (slow).
 :mod:`repro.scenarios` catalog (``list-scenarios`` prints it) and
 compares the four paper schemes on it; ``--topo-param``/
 ``--workload-param``/``--dynamics-param KEY=VALUE`` override any
-registered parameter.
+registered parameter.  ``--engine {sequential,concurrent}`` selects the
+simulation engine (default: the scenario's registered engine) and
+``--load``/``--timeout``/``--hop-latency``/``--max-retries``/
+``--retry-delay`` set the concurrent engine's knobs — see
+docs/CONCURRENCY.md.
 
 ``sweep`` runs one registered scenario across several values of one
-parameter (``--axis ROLE.KEY --values V1,V2,...``); with ``--out DIR``
-every completed (scheme, seed) cell is persisted to
-``DIR/records.jsonl`` and ``--resume`` re-invokes an interrupted sweep
-without recomputing completed cells.  ``report`` regenerates the
-paper's headline comparison (Flash vs all four baselines) as markdown
-tables + figures under ``results/`` — see docs/RESULTS.md.
+parameter (``--axis ROLE.KEY --values V1,V2,...``, where ROLE is
+``topology``/``workload``/``dynamics`` or — for concurrent scenarios —
+``engine``); with ``--out DIR`` every completed (scheme, seed) cell is
+persisted to ``DIR/records.jsonl`` and ``--resume`` re-invokes an
+interrupted sweep without recomputing completed cells.  ``report``
+regenerates the paper's headline comparison (Flash vs all four
+baselines) as markdown tables + figures under ``results/`` — see
+docs/RESULTS.md.
 """
 
 from __future__ import annotations
@@ -242,8 +251,71 @@ def _cmd_list_scenarios(args) -> int:
     return 0
 
 
+#: CLI flag -> ConcurrencyConfig knob for the concurrent engine.
+_ENGINE_FLAGS = {
+    "load": "load",
+    "timeout": "timeout",
+    "hop_latency": "hop_latency",
+    "max_retries": "max_retries",
+    "retry_delay": "retry_delay",
+}
+
+
+def _engine_overrides(args) -> dict[str, object]:
+    """Concurrent-engine knobs the user actually passed on the CLI."""
+    return {
+        knob: getattr(args, flag)
+        for flag, knob in _ENGINE_FLAGS.items()
+        if getattr(args, flag, None) is not None
+    }
+
+
+def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
+    """The engine selector + concurrent-engine knob flags (run/sweep)."""
+    subparser.add_argument(
+        "--engine",
+        choices=("sequential", "concurrent"),
+        default=None,
+        help="simulation engine (default: the scenario's registered engine)",
+    )
+    subparser.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        help="offered-load multiplier: compress all arrival times N-fold "
+        "(concurrent engine)",
+    )
+    subparser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="seconds an in-flight hold may live before it is released "
+        "(concurrent engine)",
+    )
+    subparser.add_argument(
+        "--hop-latency",
+        type=float,
+        default=None,
+        help="per-hop message latency in seconds (concurrent engine)",
+    )
+    subparser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="engine-level re-attempts for failed reservations "
+        "(concurrent engine)",
+    )
+    subparser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=None,
+        help="seconds between engine-level retries (concurrent engine)",
+    )
+
+
 def _cmd_run(args) -> int:
     import repro.scenarios as scenarios
+    from repro.sim.runner import resolve_engine
 
     try:
         scenario = scenarios.get_scenario(args.name)
@@ -257,7 +329,10 @@ def _cmd_run(args) -> int:
             workload_overrides=workload_overrides,
             dynamics_overrides=dynamics_overrides,
         )
-    except scenarios.ScenarioError as error:
+        engine, engine_params = resolve_engine(
+            args.name, args.engine, _engine_overrides(args)
+        )
+    except (scenarios.ScenarioError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     store = None
@@ -270,9 +345,15 @@ def _cmd_run(args) -> int:
         # snapshotting, so recovered cells count as resumed, not new.
         store.merge_shards()
         cells_before = len(store)
+    engine_note = ""
+    if engine == "concurrent":
+        knobs = ", ".join(
+            f"{key}={value}" for key, value in sorted(engine_params.items())
+        )
+        engine_note = f" engine=concurrent ({knobs})" if knobs else " engine=concurrent"
     print(
         f"scenario={scenario.name} ({scenario.ingredients()}) "
-        f"runs={args.runs} seed={args.seed}"
+        f"runs={args.runs} seed={args.seed}{engine_note}"
     )
     try:
         comparison = run_comparison(
@@ -286,11 +367,14 @@ def _cmd_run(args) -> int:
             # The cell key covers the CLI overrides *and* the scenario's
             # registered defaults, so editing the catalog invalidates
             # stale records instead of silently resuming from them.
+            # (run_comparison folds engine + resolved knobs in itself.)
             cell_params=_scenario_cell_params(
                 scenario, topo_overrides, workload_overrides, dynamics_overrides
             )
             if store is not None
             else None,
+            engine=engine,
+            engine_params=engine_params,
         )
     except (ReproError, ValueError) as error:
         # Overrides that pass type coercion can still violate a builder's
@@ -298,6 +382,7 @@ def _cmd_run(args) -> int:
         # when the factory runs; report them on the same error path.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    concurrent = engine == "concurrent"
     rows = [
         [
             name,
@@ -306,6 +391,16 @@ def _cmd_run(args) -> int:
             f"{metrics.probe_messages:.0f}",
             f"{metrics.fee_to_volume_percent:.2f}",
         ]
+        + (
+            [
+                f"{metrics.latency_p50:.2f}",
+                f"{metrics.latency_p95:.2f}",
+                f"{metrics.retries_total:.0f}",
+                f"{metrics.timeout_failures:.0f}",
+            ]
+            if concurrent
+            else []
+        )
         for name, metrics in comparison.metrics.items()
     ]
     table = format_table(
@@ -315,7 +410,12 @@ def _cmd_run(args) -> int:
             "succ. volume",
             "probe msgs",
             "fee/volume (%)",
-        ],
+        ]
+        + (
+            ["p50 lat (s)", "p95 lat (s)", "retries", "timeouts"]
+            if concurrent
+            else []
+        ),
         rows,
     )
     print(table)
@@ -357,13 +457,13 @@ def _records_line(store, cells_before: int, expected: int) -> str:
     return line + ")"
 
 
-_SWEEP_ROLES = ("topology", "workload", "dynamics")
+_SWEEP_ROLES = ("topology", "workload", "dynamics", "engine")
 
 
 def _cmd_sweep(args) -> int:
     import repro.scenarios as scenarios
+    from repro.sim.runner import resolve_engine, sweep as run_sweep
     from repro.sim import format_series
-    from repro.sim.runner import sweep as run_sweep
 
     try:
         scenario = scenarios.get_scenario(args.name)
@@ -376,7 +476,27 @@ def _cmd_sweep(args) -> int:
         values = [value for value in args.values.split(",") if value]
         if not values:
             raise scenarios.ScenarioError("--values needs at least one value")
-    except scenarios.ScenarioError as error:
+        engine, engine_params = resolve_engine(
+            args.name, args.engine, _engine_overrides(args)
+        )
+        engine_params_for = None
+        if role == "engine":
+            if engine != "concurrent":
+                raise scenarios.ScenarioError(
+                    "--axis engine.KEY needs the concurrent engine (pass "
+                    "--engine concurrent or pick a concurrent scenario)"
+                )
+            from repro.sim.concurrent import ConcurrencyConfig
+
+            # Validate the axis key and every value eagerly, before any
+            # run starts (from_params raises on unknown keys/bad values).
+            for value in values:
+                ConcurrencyConfig.from_params({**engine_params, key: value})
+
+            def engine_params_for(value, _base=dict(engine_params)):
+                return {**_base, key: value}
+
+    except (scenarios.ScenarioError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -405,7 +525,8 @@ def _cmd_sweep(args) -> int:
             "workload_overrides": {},
             "dynamics_overrides": {},
         }
-        overrides[f"{role}_overrides"][key] = value
+        if role != "engine":
+            overrides[f"{role}_overrides"][key] = value
         if args.transactions is not None and not (
             role == "workload" and key == "transactions"
         ):
@@ -419,6 +540,7 @@ def _cmd_sweep(args) -> int:
     print(
         f"sweep scenario={scenario.name} axis={args.axis} "
         f"values={','.join(values)} runs={args.runs} seed={args.seed}"
+        + (" engine=concurrent" if engine == "concurrent" else "")
     )
     cell_params = {
         "axis": args.axis,
@@ -437,16 +559,25 @@ def _cmd_sweep(args) -> int:
             store=store,
             experiment=scenario.name,
             cell_params=cell_params,
+            engine=engine,
+            engine_params=engine_params,
+            engine_params_for=engine_params_for,
         )
     except (ReproError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    blocks = []
-    for label, metric, scale in (
+    metric_blocks = [
         ("success ratio (%)", "success_ratio", 100.0),
         ("succeeded volume", "success_volume", 1.0),
         ("probe messages", "probe_messages", 1.0),
-    ):
+    ]
+    if engine == "concurrent":
+        metric_blocks += [
+            ("p95 latency (s)", "latency_p95", 1.0),
+            ("timeout failures", "timeout_failures", 1.0),
+        ]
+    blocks = []
+    for label, metric, scale in metric_blocks:
         blocks.append(
             format_series(
                 args.axis,
@@ -674,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="override a dynamics parameter (repeatable)",
     )
+    _add_engine_flags(run)
     _add_seed_flag(run)
     run.add_argument(
         "--out",
@@ -689,7 +821,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep one scenario parameter across several values",
         description="Run a registered scenario once per value of one "
         "parameter (--axis ROLE.KEY, ROLE one of topology/workload/"
-        "dynamics; list-scenarios --verbose shows every KEY) and print "
+        "dynamics/engine; list-scenarios --verbose shows every KEY, "
+        "docs/CONCURRENCY.md the engine KEYs) and print "
         "one series table per headline metric. With --out DIR every "
         "completed (scheme, seed) cell is persisted to DIR/records.jsonl; "
         "--resume continues an interrupted sweep without recomputing "
@@ -702,7 +835,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--axis",
         required=True,
         metavar="ROLE.KEY",
-        help="the swept parameter, e.g. topology.capacity_median",
+        help="the swept parameter, e.g. topology.capacity_median or "
+        "engine.load",
     )
     sweep.add_argument(
         "--values",
@@ -725,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shorthand for --workload-param transactions=N",
     )
+    _add_engine_flags(sweep)
     _add_seed_flag(sweep)
     sweep.add_argument(
         "--out",

@@ -59,7 +59,13 @@ def report_factories():
 
 @dataclass(frozen=True)
 class TableSpec:
-    """One report table: a metric pivot with fixed display formatting."""
+    """One report table: a metric pivot with fixed display formatting.
+
+    ``concurrent_only=True`` restricts the pivot to records that carry
+    the metric — i.e. concurrent-engine cells (sequential records do
+    not persist the concurrency fields); the table is skipped entirely
+    when no such records exist.
+    """
 
     slug: str
     title: str
@@ -68,6 +74,7 @@ class TableSpec:
     scale: float = 1.0
     figure: str = ""
     chart: bool = False
+    concurrent_only: bool = False
 
 
 #: The headline tables, in report order.  ``figure`` maps each table to
@@ -127,6 +134,22 @@ TABLES: tuple[TableSpec, ...] = (
         "elephant_probe_messages",
         ".1f",
         figure="paper Fig 11b (elephant probing)",
+    ),
+    TableSpec(
+        "latency_p95",
+        "p95 payment latency (s)",
+        "latency_p95",
+        ".3f",
+        figure="concurrent engine (docs/CONCURRENCY.md)",
+        concurrent_only=True,
+    ),
+    TableSpec(
+        "timeout_failures",
+        "Timeout failures",
+        "timeout_failures",
+        ".2f",
+        figure="concurrent engine (docs/CONCURRENCY.md)",
+        concurrent_only=True,
     ),
 )
 
@@ -209,6 +232,11 @@ def generate_report(
         say(
             f"report: {scenario.name} x {len(schemes)} schemes, "
             f"{n_runs} seeds, {n_transactions} transactions"
+            + (
+                f" [engine={scenario.engine}]"
+                if scenario.engine != "sequential"
+                else ""
+            )
         )
         run_comparison(
             scenario.factory(
@@ -221,6 +249,8 @@ def generate_report(
             store=store,
             experiment=scenario.name,
             cell_params=_report_cell_params(scenario, n_transactions),
+            engine=scenario.engine,
+            engine_params=scenario.engine_params,
         )
 
     # ------------------------------------------------ aggregate + render
@@ -230,7 +260,11 @@ def generate_report(
         n_runs, n_transactions = configs[scenario.name]
         # Same recipe run_comparison keys its records by — never
         # re-derive the mapping here (a mismatch selects zero records).
-        _, digest = cell_digest(_report_cell_params(scenario, n_transactions))
+        _, digest = cell_digest(
+            _report_cell_params(scenario, n_transactions),
+            engine=scenario.engine,
+            engine_params=scenario.engine_params,
+        )
         wanted[scenario.name] = (digest, n_runs)
     records = [
         record
@@ -263,19 +297,33 @@ def generate_report(
     summary: dict[str, dict] = {}
     sections: list[str] = []
     for table in TABLES:
-        pivot = pivot_metric(records, table.metric)
+        table_records = records
+        table_scenarios = scenario_order
+        if table.concurrent_only:
+            table_records = [
+                record
+                for record in records
+                if table.metric in record["metrics"]
+            ]
+            present = {record["scenario"] for record in table_records}
+            table_scenarios = [
+                name for name in scenario_order if name in present
+            ]
+            if not table_scenarios:
+                continue
+        pivot = pivot_metric(table_records, table.metric)
         body = pivot_markdown(
             pivot,
-            scenarios=scenario_order,
+            scenarios=table_scenarios,
             schemes=schemes,
             spec=table.spec,
             scale=table.scale,
         )
-        seeds = {name: configs[name][0] for name in scenario_order}
+        seeds = {name: configs[name][0] for name in table_scenarios}
         caption = (
             f"Mean ± 95% CI over "
-            f"{', '.join(f'{seeds[s]}' for s in scenario_order)} seeds "
-            f"({', '.join(scenario_order)}); maps to {table.figure}."
+            f"{', '.join(f'{seeds[s]}' for s in table_scenarios)} seeds "
+            f"({', '.join(table_scenarios)}); maps to {table.figure}."
         )
         text = f"# {table.title}\n\n{caption}\n\n{body}\n"
         path = tables_dir / f"{table.slug}.md"
@@ -299,14 +347,14 @@ def generate_report(
                     pivot.get(scenario, {}).get(scheme).mean * table.scale
                     if pivot.get(scenario, {}).get(scheme)
                     else 0.0
-                    for scenario in scenario_order
+                    for scenario in table_scenarios
                 ]
                 for scheme in schemes
             }
             figure_path = save_grouped_bars(
                 figures_dir / table.slug,
                 table.title,
-                scenario_order,
+                table_scenarios,
                 chart_series,
             )
             artifacts.figures[table.slug] = figure_path
@@ -325,11 +373,13 @@ def generate_report(
         f"Mode: **{mode}** · base seed {seed} · schemes: "
         + ", ".join(schemes),
         "",
-        "| scenario | seeds | transactions |",
-        "| --- | --- | --- |",
+        "| scenario | seeds | transactions | engine |",
+        "| --- | --- | --- | --- |",
     ]
+    engines = {scenario.name: scenario.engine for scenario in selected}
     header.extend(
-        f"| {name} | {configs[name][0]} | {configs[name][1]} |"
+        f"| {name} | {configs[name][0]} | {configs[name][1]} | "
+        f"{engines[name]} |"
         for name in scenario_order
     )
     header.extend(

@@ -10,7 +10,11 @@ hypothesis suite assert.
 Channels also support two-phase *holds* (escrow), which the protocol
 substrate uses to model HTLC-style commitment: a hold reserves funds in one
 direction; it is later either settled (credited to the other side) or
-released (returned to the sender side).
+released (returned to the sender side).  The concurrent simulation
+engine (:mod:`repro.sim.concurrent`) keeps holds open across simulated
+time, so :meth:`Channel.balance` — which is defined **net of holds** —
+is what makes overlapping payments contend: every probe and every
+reservation sees ``available = deposit - in_flight``.
 """
 
 from __future__ import annotations
@@ -162,6 +166,10 @@ class Channel:
     def held(self, src: NodeId, dst: NodeId) -> float:
         """Funds currently escrowed in the ``src -> dst`` direction."""
         return self._held_ab if self._check_direction(src, dst) else self._held_ba
+
+    def total_held(self) -> float:
+        """Funds escrowed across both directions (0.0 when idle)."""
+        return self._held_ab + self._held_ba
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

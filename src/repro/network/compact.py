@@ -28,7 +28,13 @@ node id keep working unchanged.
 Instances are immutable snapshots.  :meth:`ChannelGraph.compact
 <repro.network.graph.ChannelGraph.compact>` caches one per graph and
 rebuilds it when the graph's topology version counter moves (channel
-opened or closed); balance changes never invalidate it.
+opened or closed); balance changes never invalidate it.  In-flight
+holds are balance state too: the concurrent engine's hold/settle/
+release lifecycle (:mod:`repro.sim.concurrent`) moves escrow, never
+structure, so snapshots — and every cache keyed on them, like the
+routing table's BFS layers — stay valid while payments are in flight.
+Routers see holds where they must: through probed balances, which are
+net of escrow.
 """
 
 from __future__ import annotations

@@ -272,6 +272,14 @@ class GossipSchedule:
             return True
         if not self.graph.has_channel(event.a, event.b):
             return False
+        if self.graph.channel(event.a, event.b).total_held() > 0:
+            # A channel with in-flight escrow cannot cooperatively close
+            # (pending HTLCs pin it open); dropping the event keeps the
+            # concurrent engine's settle/release events valid and
+            # conserves the escrowed funds.  The sequential engines
+            # never have holds outstanding between transactions, so
+            # this guard is a no-op for them.
+            return False
         self.graph.remove_channel(event.a, event.b)
         return True
 

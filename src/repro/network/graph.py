@@ -192,8 +192,40 @@ class ChannelGraph:
     # ------------------------------------------------------------ balances
 
     def balance(self, src: NodeId, dst: NodeId) -> float:
-        """Ground-truth spendable balance on the directed edge."""
+        """Ground-truth spendable balance on the directed edge.
+
+        Net of in-flight holds: while the concurrent engine has escrow
+        outstanding on a hop, this (and therefore every probe) reports
+        ``deposit - held`` — the "available balance" of the concurrency
+        model (docs/CONCURRENCY.md).
+        """
         return self.channel(src, dst).balance(src, dst)
+
+    # --------------------------------------------------------------- holds
+
+    def hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Escrow ``amount`` on the directed edge (HTLC lock phase)."""
+        self.channel(src, dst).hold(src, dst, amount)
+
+    def settle_hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Convert a prior hold on the directed edge into a transfer."""
+        self.channel(src, dst).settle_hold(src, dst, amount)
+
+    def release_hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Cancel a prior hold on the directed edge, freeing the funds."""
+        self.channel(src, dst).release_hold(src, dst, amount)
+
+    def held(self, src: NodeId, dst: NodeId) -> float:
+        """Funds currently escrowed on the directed edge."""
+        return self.channel(src, dst).held(src, dst)
+
+    def total_held(self) -> float:
+        """All funds currently escrowed network-wide (both directions).
+
+        Zero whenever no payments are in flight — the engine-level
+        invariant the concurrent-engine tests assert after every run.
+        """
+        return sum(channel.total_held() for channel in self.channels())
 
     def total_capacity(self, a: NodeId, b: NodeId) -> float:
         return self.channel(a, b).total_capacity()

@@ -13,6 +13,13 @@ through a :class:`NetworkView`, which
   traversed, matching the paper's "proportional to the number of hops"), and
 * issues :class:`PaymentSession` objects that stage partial payments with
   channel *holds* and commit or abort them atomically (the AMP assumption).
+
+Because probes read :meth:`Channel.balance`, which is net of holds,
+routers automatically plan against ``available = balance - in_flight``
+whichever engine drives them.  The concurrent engine
+(:mod:`repro.sim.concurrent`) subclasses this view to *defer*
+settlement: its sessions place the same holds but hand them to the
+event loop on commit instead of settling instantly.
 """
 
 from __future__ import annotations
@@ -192,6 +199,12 @@ class PaymentSession:
     partial payments or none.  Reservations see balances net of earlier
     reservations in the same session, so two partial payments sharing a
     channel cannot jointly overdraw it.
+
+    Extension surface: the concurrent engine's
+    :class:`~repro.sim.concurrent.DeferredPaymentSession` overrides
+    :meth:`commit` only — ``_staged`` (the placed hop holds),
+    ``_transfers`` (the reserved paths), ``_closed``, and
+    :meth:`_check_open` are the protected state a subclass may rely on.
     """
 
     def __init__(self, graph: ChannelGraph, counters: MessageCounters) -> None:

@@ -471,3 +471,61 @@ register_scenario(
     workload_params={"mice_median": 20.0, "elephant_median": 600.0},
     figure="Figs 12/13 topology (§5.2)",
 )
+
+# ---- Concurrency scenarios (engine="concurrent", docs/CONCURRENCY.md) ----
+
+register_scenario(
+    "payment-storm",
+    "chunky payments on a tight synthetic Ripple network, arrivals "
+    "compressed 300x: in-flight holds contend, retries queue, success "
+    "degrades and p95 latency rises with offered load",
+    topology="ripple-synthetic",
+    workload="mice-elephant",
+    topology_params={"nodes": 60, "edges": 200, "capacity_median": 120.0},
+    workload_params={
+        "mice_fraction": 1.0,
+        "mice_median": 60.0,
+        "elephant_median": 3_000.0,
+    },
+    engine="concurrent",
+    engine_params={
+        "load": 300.0,
+        "hop_latency": 2.0,
+        "timeout": 120.0,
+        "max_retries": 5,
+        "retry_delay": 6.0,
+    },
+    eval_matrix=EvalMatrix(report=True, smoke=True),
+)
+
+register_scenario(
+    "timeout-stress",
+    "synthetic Ripple network under an aggressive hold timeout: any "
+    "payment whose paths exceed 2 hops expires in flight "
+    "(2 * 0.25 s/hop * hops > 1 s)",
+    topology="ripple-synthetic",
+    workload="ripple-trace",
+    engine="concurrent",
+    engine_params={
+        "load": 50.0,
+        "hop_latency": 0.25,
+        "timeout": 1.0,
+        "max_retries": 0,
+    },
+)
+
+register_scenario(
+    "lightning-hotload",
+    "bundled Lightning snapshot with arrivals compressed 200x: the "
+    "paper's trace workload under heavy concurrent traffic",
+    topology="lightning-snapshot",
+    workload="lightning-trace",
+    engine="concurrent",
+    engine_params={
+        "load": 200.0,
+        "hop_latency": 0.3,
+        "timeout": 20.0,
+        "max_retries": 2,
+        "retry_delay": 1.0,
+    },
+)

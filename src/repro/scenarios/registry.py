@@ -237,6 +237,13 @@ class Scenario:
     defaults; :meth:`factory` layers per-call overrides on top of both.
     ``eval_matrix`` carries the scenario's default evaluation
     configuration for the report generator (see :class:`EvalMatrix`).
+
+    ``engine`` selects the scenario's default simulation engine
+    (``"sequential"`` or ``"concurrent"``); ``engine_params`` are its
+    default :class:`~repro.sim.concurrent.ConcurrencyConfig` knobs.
+    The runner and CLI pick both up automatically for registered names
+    and let callers override them (see
+    :func:`repro.sim.runner.resolve_engine`).
     """
 
     name: str
@@ -249,12 +256,16 @@ class Scenario:
     dynamics_params: Mapping[str, object] = field(default_factory=dict)
     figure: str = ""
     eval_matrix: EvalMatrix = field(default_factory=EvalMatrix)
+    engine: str = "sequential"
+    engine_params: Mapping[str, object] = field(default_factory=dict)
 
     def ingredients(self) -> str:
-        """Human-readable ``topology x workload [+ dynamics]`` summary."""
+        """``topology x workload [+ dynamics] [@ engine]`` summary."""
         parts = f"{self.topology} x {self.workload}"
         if self.dynamics:
             parts += f" + {self.dynamics}"
+        if self.engine != "sequential":
+            parts += f" @ {self.engine}"
         return parts
 
     def factory(
@@ -328,12 +339,14 @@ def register_scenario(
     dynamics_params: Mapping[str, object] | None = None,
     figure: str = "",
     eval_matrix: EvalMatrix | None = None,
+    engine: str = "sequential",
+    engine_params: Mapping[str, object] | None = None,
 ) -> Scenario:
     """Compose registered ingredients into a named scenario.
 
-    All ingredient names and scenario-level parameter defaults are
-    validated eagerly (a typo fails at registration, not first run).
-    Returns the :class:`Scenario` for convenience.
+    All ingredient names, scenario-level parameter defaults, and engine
+    knobs are validated eagerly (a typo fails at registration, not
+    first run).  Returns the :class:`Scenario` for convenience.
     """
     if name in SCENARIOS:
         raise ScenarioError(f"scenario {name!r} already registered")
@@ -348,6 +361,27 @@ def register_scenario(
         raise ScenarioError(
             f"scenario {name!r} marks smoke=True without report=True"
         )
+    if engine not in ("sequential", "concurrent"):
+        raise ScenarioError(
+            f"scenario {name!r} names unknown engine {engine!r} "
+            "(known: sequential, concurrent)"
+        )
+    if engine == "sequential" and engine_params:
+        raise ScenarioError(
+            f"scenario {name!r} sets engine_params "
+            f"{sorted(engine_params)} but engine='sequential'"
+        )
+    if engine == "concurrent":
+        # Validate knob names and ranges eagerly via the config's own
+        # coercion (imported lazily: repro.sim pulls no scenario code).
+        from repro.sim.concurrent import ConcurrencyConfig
+
+        try:
+            ConcurrencyConfig.from_params(engine_params)
+        except ValueError as exc:
+            raise ScenarioError(
+                f"scenario {name!r} has bad engine_params: {exc}"
+            ) from exc
     scenario = Scenario(
         name=name,
         description=description,
@@ -359,6 +393,8 @@ def register_scenario(
         dynamics_params=dict(dynamics_params or {}),
         figure=figure,
         eval_matrix=eval_matrix or EvalMatrix(),
+        engine=engine,
+        engine_params=dict(engine_params or {}),
     )
     # Eager validation: ingredient lookup + parameter binding both raise
     # ScenarioError on any mismatch.

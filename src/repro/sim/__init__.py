@@ -1,5 +1,6 @@
-"""Trace-driven simulation: engine, metrics, factories, sweeps, tables."""
+"""Trace-driven simulation: engines, metrics, factories, sweeps, tables."""
 
+from repro.sim.concurrent import ConcurrencyConfig, run_concurrent_simulation
 from repro.sim.engine import RouterFactory, run_simulation
 from repro.sim.factories import (
     flash_all_elephant_factory,
@@ -11,6 +12,7 @@ from repro.sim.factories import (
     spider_factory,
 )
 from repro.sim.metrics import (
+    CONCURRENT_METRIC_FIELDS,
     METRIC_FIELDS,
     AveragedMetrics,
     SimulationResult,
@@ -21,10 +23,12 @@ from repro.sim.results import format_number, format_series, format_table
 from repro.sim.runner import (
     DEFAULT_MICE_FRACTION,
     DEFAULT_RUNS,
+    ENGINES,
     ComparisonResult,
     ScenarioBuild,
     ScenarioFactory,
     cell_digest,
+    resolve_engine,
     resolve_scenario,
     run_comparison,
     sweep,
@@ -33,8 +37,11 @@ from repro.sim.runner import (
 __all__ = [
     "AveragedMetrics",
     "ComparisonResult",
+    "ConcurrencyConfig",
+    "CONCURRENT_METRIC_FIELDS",
     "DEFAULT_MICE_FRACTION",
     "DEFAULT_RUNS",
+    "ENGINES",
     "METRIC_FIELDS",
     "RouterFactory",
     "ScenarioBuild",
@@ -50,8 +57,10 @@ __all__ = [
     "landmark_factory",
     "paper_benchmark_factories",
     "cell_digest",
+    "resolve_engine",
     "resolve_scenario",
     "run_comparison",
+    "run_concurrent_simulation",
     "run_simulation",
     "shortest_path_factory",
     "speedymurmurs_factory",

@@ -1,0 +1,444 @@
+"""The discrete-event concurrent payment engine (in-flight holds, timeouts).
+
+:func:`repro.sim.engine.run_simulation` feeds payments to the router one
+at a time and ignores ``Transaction.time`` entirely, so concurrent
+payments never contend for channel balance.  This module provides the
+second engine: payments *start* at their workload time on a shared
+:class:`~repro.protocol.events.EventQueue`, place HTLC-style **holds**
+on every hop of every partial path (the hold-then-settle lifecycle of
+the BOLT specifications), and only **settle** — converting holds into
+balance transfers — after a per-hop latency round trip.  While a payment
+is in flight its holds reduce the *available* balance every other
+payment (and every probe) sees, because
+:meth:`repro.network.channel.Channel.balance` is defined net of holds.
+That makes contention, retry behaviour, and latency measurable.
+
+Lifecycle of one payment (see ``docs/CONCURRENCY.md`` for the full
+model):
+
+1. **start** — at ``transaction.time / load`` the router plans and
+   reserves the payment.  Probes are instantaneous; reservations go
+   through :class:`ConcurrentNetworkView`, which places holds instead of
+   settling (both ``try_execute`` and payment sessions).
+2. **settle** — a successful reservation over paths with at most ``h``
+   hops completes ``2 * hop_latency * h`` later (forward lock pass +
+   reverse settle pass); the holds become transfers and the payment is
+   recorded with its latency.
+3. **timeout** — if the settle delay would exceed ``timeout``, the
+   payment instead fails ``timeout`` seconds after its holds were
+   placed (the reservation instant — which follows any retry waits,
+   exactly like an HTLC's expiry counts from when it is offered): every
+   hold is released and the record is marked ``timed_out``.  Timeouts
+   are structural (the chosen paths are too long for the timeout), so
+   they are not retried.
+4. **retry** — a reservation that fails outright (no capacity) is
+   retried ``retry_delay`` later, up to ``max_retries`` times; earlier
+   payments may have settled in between, freeing capacity.
+
+Determinism: the engine is a pure function of ``(graph, workload,
+events, config, rng)``.  Events are ordered by ``(time, sequence)``
+(the :class:`~repro.protocol.events.EventQueue` tie-break), and sequence
+numbers are assigned in a fixed order — churn events first, then
+payment starts in workload order, then the follow-up events each action
+schedules — so two runs with the same seed produce identical
+:class:`~repro.sim.metrics.SimulationResult` records, including across
+``workers=N`` fork parallelism.
+
+The sequential engine remains the default everywhere and is untouched by
+this module; ``engine="sequential"`` results are byte-identical to the
+pre-concurrent engine's output for the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import InsufficientBalanceError, NoChannelError, ProtocolError
+from repro.network.channel import NodeId
+from repro.network.dynamics import ChannelEvent, GossipSchedule
+from repro.network.graph import ChannelGraph
+from repro.network.view import NetworkView, PaymentSession
+from repro.protocol.events import EventQueue
+from repro.sim.metrics import SimulationResult, TransactionRecord
+from repro.traces.workload import Transaction, Workload
+
+#: One held hop: escrowed ``amount`` in the ``src -> dst`` direction.
+HeldHop = tuple[NodeId, NodeId, float]
+
+
+@dataclass(frozen=True)
+class ConcurrencyConfig:
+    """The knobs of the concurrent engine (all simulated-time seconds).
+
+    ``load`` uniformly compresses the input trace: every workload and
+    churn timestamp (and the gossip period) is divided by it, while
+    ``hop_latency``/``timeout``/``retry_delay`` stay in wall-clock
+    seconds — so ``load=100`` offers 100x the paper's arrival rate
+    against unchanged hold durations.  ``timeout`` caps how long a
+    payment's holds may stay in flight before they are released;
+    ``max_retries`` bounds engine-level re-attempts of reservations that
+    failed for lack of capacity.
+    """
+
+    hop_latency: float = 0.1
+    timeout: float = 5.0
+    load: float = 1.0
+    max_retries: int = 1
+    retry_delay: float = 1.0
+    gossip_period: float = 600.0
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on out-of-range knob values."""
+        if self.hop_latency < 0:
+            raise ValueError(f"hop_latency must be >= 0, got {self.hop_latency}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.load <= 0:
+            raise ValueError(f"load must be positive, got {self.load}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_delay < 0:
+            raise ValueError(
+                f"retry_delay must be >= 0, got {self.retry_delay}"
+            )
+        if self.gossip_period <= 0:
+            raise ValueError(
+                f"gossip_period must be positive, got {self.gossip_period}"
+            )
+
+    @classmethod
+    def from_params(
+        cls, params: Mapping[str, object] | None = None
+    ) -> "ConcurrencyConfig":
+        """Build from a knob mapping; unknown keys and bad values raise.
+
+        This is the single coercion point for engine parameters coming
+        from scenario registrations, CLI flags, and store cell keys.
+        """
+        known = {spec.name: spec.type for spec in fields(cls)}
+        kwargs: dict[str, object] = {}
+        for key, value in dict(params or {}).items():
+            if key not in known:
+                names = ", ".join(sorted(known))
+                raise ValueError(
+                    f"unknown concurrency parameter {key!r} (known: {names})"
+                )
+            kwargs[key] = int(value) if key == "max_retries" else float(value)
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
+    def to_params(self) -> dict[str, object]:
+        """Every knob as a plain dict — the store cell-key representation.
+
+        Always fully resolved (defaults included), so an explicitly
+        passed default value and an omitted knob hash identically.
+        """
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class HoldLedger:
+    """Collects the holds one ``router.route`` call places.
+
+    The engine brackets every route attempt with :meth:`begin` /
+    :meth:`collect`; the :class:`ConcurrentNetworkView` execution
+    primitives deposit their held hops (and the paths they belong to)
+    here instead of settling them, handing ownership of the in-flight
+    escrow to the engine's settle/timeout events.
+    """
+
+    def __init__(self) -> None:
+        self._active = False
+        self._holds: list[HeldHop] = []
+        self._transfers: list[tuple[tuple[NodeId, ...], float]] = []
+
+    def begin(self) -> None:
+        """Open collection for one route attempt."""
+        self._active = True
+        self._holds = []
+        self._transfers = []
+
+    def add(
+        self,
+        holds: Sequence[HeldHop],
+        transfers: Sequence[tuple[tuple[NodeId, ...], float]],
+    ) -> None:
+        """Register committed holds (called by the deferring view)."""
+        if not self._active:
+            raise ProtocolError(
+                "payment executed outside an engine-managed route attempt"
+            )
+        self._holds.extend(holds)
+        self._transfers.extend(transfers)
+
+    def collect(
+        self,
+    ) -> tuple[list[HeldHop], list[tuple[tuple[NodeId, ...], float]]]:
+        """Close collection and return ``(holds, transfers)``."""
+        self._active = False
+        holds, transfers = self._holds, self._transfers
+        self._holds, self._transfers = [], []
+        return holds, transfers
+
+
+class DeferredPaymentSession(PaymentSession):
+    """A payment session whose commit defers settlement to the engine.
+
+    Reservation (:meth:`~repro.network.view.PaymentSession.try_reserve`)
+    and abort behave exactly like the sequential session — holds are
+    placed and released immediately, and every message is counted the
+    same way.  Only :meth:`commit` differs: instead of settling the
+    staged holds it hands them to the :class:`HoldLedger`, leaving the
+    escrow in place until the engine's settle (or timeout) event fires.
+    """
+
+    def __init__(self, graph, counters, ledger: HoldLedger) -> None:
+        super().__init__(graph, counters)
+        self._ledger = ledger
+
+    def commit(self) -> None:
+        """Hand the staged holds to the engine instead of settling them.
+
+        The commit messages are counted here (the CONFIRM pass happens
+        now); the later settle event moves balances without re-counting.
+        """
+        self._check_open()
+        self._closed = True
+        self._ledger.add(
+            [(hop.src, hop.dst, hop.amount) for hop in self._staged],
+            list(self._transfers),
+        )
+        self._counters.payment_messages += len(self._staged)
+
+
+class ConcurrentNetworkView(NetworkView):
+    """A :class:`~repro.network.view.NetworkView` that holds, never settles.
+
+    Probing is inherited unchanged — and because
+    :meth:`repro.network.channel.Channel.balance` is net of holds, every
+    probe (and therefore every routing decision of all five schemes)
+    automatically sees ``available = balance - in_flight``.  The two
+    execution primitives are overridden to escrow instead of settle:
+
+    * :meth:`try_execute` places per-hop holds, all-or-nothing (no
+      cross-direction netting: HTLC escrow locks both directions, which
+      is strictly more conservative than the sequential engine's netted
+      :meth:`~repro.network.graph.ChannelGraph.execute`);
+    * :meth:`open_session` returns a :class:`DeferredPaymentSession`.
+    """
+
+    def __init__(self, graph: ChannelGraph, ledger: HoldLedger) -> None:
+        super().__init__(graph)
+        self._ledger = ledger
+
+    def try_execute(
+        self, transfers: list[tuple[tuple[NodeId, ...], float]]
+    ) -> bool:
+        """Escrow a multi-path payment hop by hop; all-or-nothing.
+
+        Costs one payment message per hop reached (a failed attempt
+        still pays for the hops traversed before bouncing, matching the
+        session primitive's accounting).
+        """
+        placed: list[HeldHop] = []
+        self.counters.payment_attempts += 1
+        for path, amount in transfers:
+            for u, v in zip(path, path[1:]):
+                self.counters.payment_messages += 1
+                try:
+                    self._graph.hold(u, v, amount)
+                except (InsufficientBalanceError, NoChannelError):
+                    for uu, vv, held in reversed(placed):
+                        self._graph.release_hold(uu, vv, held)
+                    return False
+                placed.append((u, v, amount))
+        self._ledger.add(
+            placed, [(tuple(path), amount) for path, amount in transfers]
+        )
+        return True
+
+    def open_session(self) -> DeferredPaymentSession:
+        """Start a payment session whose commit defers to the engine."""
+        return DeferredPaymentSession(self._graph, self.counters, self._ledger)
+
+
+@dataclass
+class _PendingPayment:
+    """Engine-side state of one payment across its attempts."""
+
+    transaction: Transaction
+    started_at: float
+    attempts: int = 0
+    probe_messages: int = 0
+    payment_messages: int = 0
+
+
+def _max_hops(transfers: Sequence[tuple[tuple[NodeId, ...], float]]) -> int:
+    """The longest partial-payment path, in hops (0 for no transfers)."""
+    return max((len(path) - 1 for path, _ in transfers), default=0)
+
+
+def run_concurrent_simulation(
+    graph: ChannelGraph,
+    router_factory,
+    workload: Workload,
+    rng: random.Random | None = None,
+    config: ConcurrencyConfig | None = None,
+    events: Sequence[ChannelEvent] | None = None,
+    reference_mice_fraction: float = 0.9,
+    copy_graph: bool = True,
+) -> SimulationResult:
+    """Route ``workload`` with overlapping in-flight payments; returns metrics.
+
+    Same contract as :func:`repro.sim.engine.run_simulation` — fresh
+    router over a (by default) copied graph, one
+    :class:`~repro.sim.metrics.TransactionRecord` per transaction in
+    workload order — plus the concurrent semantics documented in the
+    module docstring.  ``events`` (channel churn) are applied at their
+    compressed timestamps and gossiped on the compressed period, exactly
+    mirroring :func:`~repro.network.dynamics.run_dynamic_simulation`'s
+    ordering (events due at a payment's start apply before it routes).
+
+    The returned result has ``engine="concurrent"``, which adds the
+    latency/retry/timeout metrics to its stored record (see
+    :data:`repro.sim.metrics.CONCURRENT_METRIC_FIELDS`).
+    """
+    config = config if config is not None else ConcurrencyConfig()
+    config.validate()
+    working_graph = graph.copy() if copy_graph else graph
+    run_rng = rng if rng is not None else random.Random(0)
+    queue = EventQueue()
+    ledger = HoldLedger()
+    view = ConcurrentNetworkView(working_graph, ledger)
+    router = router_factory(view, workload, run_rng)
+    threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+
+    scaled_events: list[ChannelEvent] = [
+        replace(event, time=event.time / config.load) for event in (events or ())
+    ]
+    schedule = GossipSchedule(
+        graph=working_graph,
+        events=scaled_events,
+        gossip_period=config.gossip_period / config.load,
+    )
+    schedule.register(router)
+
+    records: dict[int, TransactionRecord] = {}
+
+    def record(
+        pending: _PendingPayment,
+        success: bool,
+        fee: float,
+        paths_used: int,
+        timed_out: bool,
+    ) -> None:
+        transaction = pending.transaction
+        records[transaction.txid] = TransactionRecord(
+            txid=transaction.txid,
+            amount=transaction.amount,
+            success=success,
+            fee=fee,
+            is_elephant=transaction.amount >= threshold,
+            probe_messages=pending.probe_messages,
+            payment_messages=pending.payment_messages,
+            paths_used=paths_used,
+            latency=queue.now - pending.started_at,
+            retries=pending.attempts - 1,
+            timed_out=timed_out,
+        )
+
+    def settle(pending, holds, outcome) -> None:
+        for u, v, amount in holds:
+            working_graph.settle_hold(u, v, amount)
+        record(
+            pending,
+            success=True,
+            fee=outcome.fee,
+            paths_used=len(outcome.transfers),
+            timed_out=False,
+        )
+
+    def expire(pending, holds, outcome) -> None:
+        for u, v, amount in reversed(holds):
+            working_graph.release_hold(u, v, amount)
+        record(
+            pending,
+            success=False,
+            fee=0.0,
+            paths_used=len(outcome.transfers),
+            timed_out=True,
+        )
+
+    def attempt(pending: _PendingPayment) -> None:
+        # Churn due by now applies before the payment routes, mirroring
+        # the sequential dynamic engine's interleaving.
+        schedule.advance_to(queue.now)
+        probes_before = view.counters.probe_messages
+        payments_before = view.counters.payment_messages
+        ledger.begin()
+        outcome = router.route(pending.transaction)
+        holds, transfers = ledger.collect()
+        pending.attempts += 1
+        pending.probe_messages += view.counters.probe_messages - probes_before
+        pending.payment_messages += (
+            view.counters.payment_messages - payments_before
+        )
+        if outcome.success:
+            # The lock pass reaches the receiver after hop_latency per
+            # hop of the longest path; the settle pass walks back.
+            settle_delay = 2.0 * config.hop_latency * _max_hops(
+                transfers or outcome.transfers
+            )
+            annotated = replace(
+                outcome,
+                started_at=pending.started_at,
+                settled_at=queue.now + settle_delay,
+                retries=pending.attempts - 1,
+            )
+            if settle_delay > config.timeout:
+                queue.schedule(
+                    config.timeout, lambda: expire(pending, holds, annotated)
+                )
+            else:
+                queue.schedule(
+                    settle_delay, lambda: settle(pending, holds, annotated)
+                )
+            return
+        # Defensive: a failed route must not leave escrow behind.
+        for u, v, amount in reversed(holds):
+            working_graph.release_hold(u, v, amount)
+        if pending.attempts <= config.max_retries:
+            queue.schedule(config.retry_delay, lambda: attempt(pending))
+            return
+        record(
+            pending,
+            success=False,
+            fee=0.0,
+            paths_used=0,
+            timed_out=False,
+        )
+
+    # Churn events are scheduled before payment starts so that at equal
+    # timestamps the sequence tie-break applies the topology change
+    # first — the same order run_dynamic_simulation guarantees.
+    for event in scaled_events:
+        queue.schedule(event.time, lambda: schedule.advance_to(queue.now))
+    for transaction in workload:
+        start = transaction.time / config.load
+        pending = _PendingPayment(transaction=transaction, started_at=start)
+        queue.schedule(start, lambda pending=pending: attempt(pending))
+
+    # Every payment contributes at most (1 + max_retries) attempts plus
+    # one settle/timeout event; anything beyond that bound is a bug.
+    budget = len(workload) * (config.max_retries + 2) + len(scaled_events) + 16
+    queue.run_until_idle(max_events=budget)
+    schedule.flush(queue.now)
+
+    result = SimulationResult(scheme=router.name, engine="concurrent")
+    for transaction in workload:
+        result.records.append(records[transaction.txid])
+    return result

@@ -1,14 +1,32 @@
-"""The trace-driven simulation engine (§4.1, "Setup").
+"""The **sequential** trace-driven simulation engine (§4.1, "Setup").
 
-Payments arrive at senders sequentially; the engine feeds them one at a
-time to a router operating over a :class:`~repro.network.view.NetworkView`
-of a fresh copy of the topology, and captures per-transaction records
-(success, fees, message deltas) into a
-:class:`~repro.sim.metrics.SimulationResult`.
+Two engines share the router/metrics contract:
 
-The engine also tags every transaction elephant/mouse against a reference
-threshold so results can be broken down by class even for routers (the
-baselines) that do not themselves classify.
+* **sequential** (this module, the default everywhere) — payments are
+  fed to the router one at a time in workload order; each settles (or
+  fails) instantaneously before the next starts, and ``Transaction.time``
+  is ignored.  This is the paper's online model ("payments arrive at
+  senders sequentially").
+* **concurrent** (:mod:`repro.sim.concurrent`) — payments start at
+  their workload time on a discrete-event queue, place HTLC-style holds
+  along their paths, and settle or time out after per-hop latency, so
+  overlapping payments contend for channel balance.  See
+  ``docs/CONCURRENCY.md``.
+
+Sequential-equivalence guarantee: selecting ``engine="sequential"``
+anywhere (runner, CLI, report) routes through this unmodified function,
+so its results — every per-transaction record and every stored metric —
+are byte-identical to the engine as it existed before the concurrent
+engine was added (``tests/sim/test_concurrent.py`` pins this against a
+golden record).
+
+The engine feeds each payment to a router operating over a
+:class:`~repro.network.view.NetworkView` of a fresh copy of the
+topology, and captures per-transaction records (success, fees, message
+deltas) into a :class:`~repro.sim.metrics.SimulationResult`.  It also
+tags every transaction elephant/mouse against a reference threshold so
+results can be broken down by class even for routers (the baselines)
+that do not themselves classify.
 """
 
 from __future__ import annotations

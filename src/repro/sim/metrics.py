@@ -4,12 +4,21 @@ The paper's primary metrics are **success ratio** (fraction of payments
 delivered), **success volume** (total delivered amount), and the **number
 of probing messages**.  We additionally track payment messages, fees, and
 the elephant/mice breakdown needed by the Fig 10/11 microbenchmarks.
+
+Runs produced by the concurrent engine
+(:mod:`repro.sim.concurrent`) also carry per-payment latency, retry
+counts, and timeout failures; those extra fields
+(:data:`CONCURRENT_METRIC_FIELDS`) are appended to the stored record
+only when ``engine="concurrent"`` so sequential store records stay
+byte-identical to the pre-concurrent format.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+
+from repro.traces.workload import percentile
 
 #: The per-run metric fields persisted to the experiment store
 #: (:mod:`repro.eval.store`) and consumed by :meth:`AveragedMetrics.of`.
@@ -29,10 +38,28 @@ METRIC_FIELDS: tuple[str, ...] = (
     "elephant_probe_messages",
 )
 
+#: Extra per-run fields recorded only by the concurrent engine
+#: (latencies in simulated seconds, over *successful* payments).
+CONCURRENT_METRIC_FIELDS: tuple[str, ...] = (
+    "latency_p50",
+    "latency_p95",
+    "latency_mean",
+    "retries_total",
+    "timeout_failures",
+)
+
 
 @dataclass(frozen=True)
 class TransactionRecord:
-    """Per-transaction accounting captured by the engine."""
+    """Per-transaction accounting captured by the engine.
+
+    ``latency``, ``retries``, and ``timed_out`` are only meaningful for
+    concurrent-engine runs; the sequential engine leaves them at their
+    defaults (zero-cost, so its records are unchanged).  ``latency`` is
+    simulated seconds from the payment's first start to its settle (or
+    final failure); ``retries`` counts engine-level re-attempts beyond
+    the first; ``timed_out`` marks failures caused by the hold timeout.
+    """
 
     txid: int
     amount: float
@@ -42,14 +69,23 @@ class TransactionRecord:
     probe_messages: int
     payment_messages: int
     paths_used: int
+    latency: float = 0.0
+    retries: int = 0
+    timed_out: bool = False
 
 
 @dataclass
 class SimulationResult:
-    """Aggregated outcome of one simulation run for one scheme."""
+    """Aggregated outcome of one simulation run for one scheme.
+
+    ``engine`` names the engine that produced the run (``"sequential"``
+    or ``"concurrent"``); it selects which field set :meth:`to_record`
+    persists.
+    """
 
     scheme: str
     records: list[TransactionRecord] = field(default_factory=list)
+    engine: str = "sequential"
 
     # ------------------------------------------------------------- scalars
 
@@ -90,6 +126,46 @@ class SimulationResult:
         """Fig 9's metric: total fees as a percentage of delivered volume."""
         volume = self.success_volume
         return 100.0 * self.total_fees / volume if volume > 0 else 0.0
+
+    # --------------------------------------------------- concurrency metrics
+
+    @property
+    def success_latencies(self) -> list[float]:
+        """Latency of every *successful* payment (simulated seconds).
+
+        Latency percentiles are conventionally reported over delivered
+        payments; failures carry their own signal via
+        :attr:`timeout_failures` and the success ratio.
+        """
+        return [r.latency for r in self.records if r.success]
+
+    @property
+    def latency_p50(self) -> float:
+        """Median latency of successful payments (0.0 when none)."""
+        latencies = self.success_latencies
+        return percentile(latencies, 0.5) if latencies else 0.0
+
+    @property
+    def latency_p95(self) -> float:
+        """95th-percentile latency of successful payments (0.0 when none)."""
+        latencies = self.success_latencies
+        return percentile(latencies, 0.95) if latencies else 0.0
+
+    @property
+    def latency_mean(self) -> float:
+        """Mean latency of successful payments (0.0 when none)."""
+        latencies = self.success_latencies
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    @property
+    def retries_total(self) -> int:
+        """Engine-level re-attempts summed over all payments."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def timeout_failures(self) -> int:
+        """Payments that failed because their holds hit the timeout."""
+        return sum(1 for r in self.records if r.timed_out)
 
     # ------------------------------------------------------ class breakdown
 
@@ -139,14 +215,19 @@ class SimulationResult:
         }
 
     def to_record(self) -> dict[str, float]:
-        """Every :data:`METRIC_FIELDS` value as a flat float dict.
+        """Every persisted metric value as a flat float dict.
 
         This is the structured record the experiment store persists; it
         carries everything :meth:`AveragedMetrics.of` reads, so a stored
         run can stand in for a live :class:`SimulationResult` when a
-        sweep resumes (see :class:`StoredResult`).
+        sweep resumes (see :class:`StoredResult`).  Concurrent-engine
+        runs additionally persist :data:`CONCURRENT_METRIC_FIELDS`;
+        sequential records are unchanged from the pre-concurrent format.
         """
-        return {name: float(getattr(self, name)) for name in METRIC_FIELDS}
+        names = METRIC_FIELDS
+        if self.engine == "concurrent":
+            names = METRIC_FIELDS + CONCURRENT_METRIC_FIELDS
+        return {name: float(getattr(self, name)) for name in names}
 
 
 @dataclass(frozen=True)
@@ -173,21 +254,39 @@ class StoredResult:
     elephant_success_volume: float
     mice_probe_messages: float
     elephant_probe_messages: float
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_mean: float = 0.0
+    retries_total: float = 0.0
+    timeout_failures: float = 0.0
 
     @classmethod
     def from_record(
         cls, scheme: str, metrics: Mapping[str, float]
     ) -> "StoredResult":
-        """Rehydrate from a store record's ``metrics`` mapping."""
+        """Rehydrate from a store record's ``metrics`` mapping.
+
+        The concurrency fields default to zero when absent, so records
+        written by sequential runs (which do not persist them) rehydrate
+        unchanged.
+        """
         return cls(
             scheme=scheme,
             **{name: float(metrics[name]) for name in METRIC_FIELDS},
+            **{
+                name: float(metrics.get(name, 0.0))
+                for name in CONCURRENT_METRIC_FIELDS
+            },
         )
 
 
 @dataclass(frozen=True)
 class AveragedMetrics:
-    """Mean of the headline metrics over several runs (paper: 5 runs)."""
+    """Mean of the headline metrics over several runs (paper: 5 runs).
+
+    The concurrency fields average to zero for sequential runs (every
+    per-run value is zero there), so one dataclass serves both engines.
+    """
 
     scheme: str
     runs: int
@@ -200,6 +299,11 @@ class AveragedMetrics:
     elephant_success_volume: float
     mice_probe_messages: float
     elephant_probe_messages: float
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_mean: float = 0.0
+    retries_total: float = 0.0
+    timeout_failures: float = 0.0
 
     @classmethod
     def of(cls, results: Sequence[SimulationResult]) -> "AveragedMetrics":
@@ -232,4 +336,9 @@ class AveragedMetrics:
             elephant_probe_messages=mean(
                 r.elephant_probe_messages for r in results
             ),
+            latency_p50=mean(r.latency_p50 for r in results),
+            latency_p95=mean(r.latency_p95 for r in results),
+            latency_mean=mean(r.latency_mean for r in results),
+            retries_total=mean(r.retries_total for r in results),
+            timeout_failures=mean(r.timeout_failures for r in results),
         )

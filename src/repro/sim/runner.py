@@ -4,6 +4,16 @@ The paper reports the average of 5 independent runs (§4.1).  A *scenario*
 here is a callable building (graph, workload) from a seed; the runner
 replays every scheme on identical scenarios and averages the metrics.
 
+Both entry points select between the two simulation engines via
+``engine="sequential"`` (default — :func:`repro.sim.engine.run_simulation`,
+byte-identical to the pre-concurrent behaviour) and
+``engine="concurrent"`` (:mod:`repro.sim.concurrent` — discrete-event
+in-flight holds with latency/timeout metrics; knobs via
+``engine_params``).  Registered scenarios may carry their own engine
+default, which ``engine=None`` picks up; concurrent cells fold the
+fully-resolved knob set into their store key (see :func:`cell_digest`),
+while sequential cell keys are unchanged so existing stores resume.
+
 Runs are independent by construction (each derives its RNGs from
 ``base_seed`` and its run index alone), so ``run_comparison`` and
 ``sweep`` accept an opt-in ``workers=N`` to fan the seeded runs out over
@@ -63,9 +73,15 @@ DEFAULT_RUNS = 5
 DEFAULT_MICE_FRACTION = 0.9
 
 
+#: The engines :func:`run_comparison` accepts.
+ENGINES: tuple[str, ...] = ("sequential", "concurrent")
+
+
 def cell_digest(
     cell_params: Mapping[str, object] | None,
     reference_mice_fraction: float = DEFAULT_MICE_FRACTION,
+    engine: str = "sequential",
+    engine_params: Mapping[str, object] | None = None,
 ) -> tuple[dict[str, object], str]:
     """The ``(params, hash)`` a comparison's store cells are keyed by.
 
@@ -73,12 +89,65 @@ def cell_digest(
     keys its records through this, and readers (e.g. the report
     generator) must call it too rather than re-deriving the mapping —
     a recipe mismatch would silently select zero records.
+
+    Concurrent cells fold the engine name and the **fully-resolved**
+    knob set into the key (an omitted knob and its explicit default
+    hash identically); sequential cells add nothing, so stores written
+    before the concurrent engine existed still resume.
     """
     from repro.eval.store import params_hash
 
     params = dict(cell_params or {})
     params["reference_mice_fraction"] = reference_mice_fraction
+    if engine != "sequential":
+        from repro.sim.concurrent import ConcurrencyConfig
+
+        params["engine"] = engine
+        params["engine_params"] = ConcurrencyConfig.from_params(
+            engine_params
+        ).to_params()
     return params, params_hash(params)
+
+
+def resolve_engine(
+    scenario: "ScenarioFactory | str",
+    engine: str | None,
+    engine_params: Mapping[str, object] | None,
+) -> tuple[str, dict[str, object]]:
+    """The effective ``(engine, engine_params)`` for one comparison.
+
+    ``engine=None`` defers to the registered scenario's default engine
+    (plain ``"sequential"`` for factory callables).  A registered
+    concurrent scenario's ``engine_params`` act as defaults under any
+    explicitly passed ones, so CLI knobs override the catalog without
+    discarding it.  Unknown engine names — and explicit engine
+    parameters whose effective engine is sequential, which would
+    otherwise be silently ignored — raise :class:`ValueError`.
+    """
+    scenario_engine = "sequential"
+    scenario_params: dict[str, object] = {}
+    if isinstance(scenario, str):
+        from repro.scenarios import get_scenario
+
+        registered = get_scenario(scenario)
+        scenario_engine = registered.engine
+        scenario_params = dict(registered.engine_params)
+    resolved = engine if engine is not None else scenario_engine
+    if resolved not in ENGINES:
+        raise ValueError(
+            f"unknown engine {resolved!r} (known: {', '.join(ENGINES)})"
+        )
+    if resolved == "sequential" and engine_params:
+        raise ValueError(
+            "engine parameters "
+            f"{sorted(engine_params)} have no effect with "
+            "engine='sequential'; pass engine='concurrent' to use them"
+        )
+    params: dict[str, object] = {}
+    if resolved == "concurrent" and resolved == scenario_engine:
+        params.update(scenario_params)
+    params.update(dict(engine_params or {}))
+    return resolved, params
 
 
 def resolve_scenario(scenario: ScenarioFactory | str) -> ScenarioFactory:
@@ -116,13 +185,18 @@ def _single_run(
     base_seed: int,
     reference_mice_fraction: float,
     run_index: int,
+    engine: str = "sequential",
+    engine_params: Mapping[str, object] | None = None,
 ) -> dict[str, SimulationResult]:
     """One seeded replication: every scheme on the same graph/workload.
 
     Scenario factories may return ``(graph, workload)`` or
     ``(graph, workload, events)``; with events present each scheme runs
     through the dynamic simulator (churn interleaved by timestamp, same
-    event stream for every scheme).
+    event stream for every scheme).  ``engine="concurrent"`` routes
+    every scheme through :func:`repro.sim.concurrent.run_concurrent_simulation`
+    instead (which handles events natively); seeds are derived the same
+    way for both engines.
     """
     scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
     built = scenario(scenario_rng)
@@ -131,11 +205,28 @@ def _single_run(
     else:
         graph, workload = built
         events = None
+    config = None
+    if engine == "concurrent":
+        from repro.sim.concurrent import ConcurrencyConfig
+
+        config = ConcurrencyConfig.from_params(engine_params)
     results: dict[str, SimulationResult] = {}
     for name, factory in factories.items():
         name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
         router_rng = random.Random(base_seed + 7_919 * run_index + name_salt)
-        if events:
+        if config is not None:
+            from repro.sim.concurrent import run_concurrent_simulation
+
+            results[name] = run_concurrent_simulation(
+                graph,
+                factory,
+                workload,
+                rng=router_rng,
+                config=config,
+                events=events,
+                reference_mice_fraction=reference_mice_fraction,
+            )
+        elif events:
             results[name] = run_dynamic_simulation(
                 graph,
                 factory,
@@ -202,9 +293,17 @@ def _forked_run(run_index: int) -> dict[str, SimulationResult]:
         experiment,
         digest,
         params,
+        engine,
+        engine_params,
     ) = _FORK_STATE
     results = _single_run(
-        scenario, factories, base_seed, reference_mice_fraction, run_index
+        scenario,
+        factories,
+        base_seed,
+        reference_mice_fraction,
+        run_index,
+        engine=engine,
+        engine_params=engine_params,
     )
     if store_directory is not None:
         # Persist into a per-process shard before returning: if a later
@@ -231,6 +330,8 @@ def _run_parallel(
     experiment: str | None = None,
     digest: str | None = None,
     params: Mapping[str, object] | None = None,
+    engine: str = "sequential",
+    engine_params: Mapping[str, object] | None = None,
 ) -> list[dict[str, SimulationResult]] | None:
     """Fan runs out over fork workers; ``None`` if fork is unavailable."""
     global _FORK_STATE
@@ -249,6 +350,8 @@ def _run_parallel(
             experiment,
             digest,
             params,
+            engine,
+            engine_params,
         )
         try:
             pool = context.Pool(processes=min(workers, len(run_indices)))
@@ -274,6 +377,8 @@ def run_comparison(
     store: "ExperimentStore | None" = None,
     experiment: str | None = None,
     cell_params: Mapping[str, object] | None = None,
+    engine: str | None = None,
+    engine_params: Mapping[str, object] | None = None,
 ) -> ComparisonResult:
     """Average each scheme over ``runs`` seeded replications.
 
@@ -284,13 +389,21 @@ def run_comparison(
     parallel processes; seeds, result order, and therefore every
     averaged metric are identical to the serial path.
 
+    ``engine``/``engine_params`` select the simulation engine (see
+    :func:`resolve_engine`): ``None`` uses the registered scenario's
+    default, ``"concurrent"`` runs the discrete-event in-flight-hold
+    engine with the given :class:`~repro.sim.concurrent.ConcurrencyConfig`
+    knobs.
+
     ``store`` persists every (scheme, run) cell as it completes and
     **skips cells the store already holds**, making re-invocations
     resumable.  Cells are keyed by ``experiment`` (defaults to the
     scenario name when ``scenario`` is a registered name), the scheme
     name, ``base_seed``, the run index, and a hash of ``cell_params``
     (include anything that changes the scenario's behaviour — overrides,
-    swept values — so different configurations never collide).
+    swept values — so different configurations never collide); the
+    engine and its resolved knobs are folded into that hash for
+    concurrent runs automatically.
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
@@ -303,6 +416,7 @@ def run_comparison(
                 "records when the scenario is a callable"
             )
         experiment = scenario
+    engine, engine_params = resolve_engine(scenario, engine, engine_params)
     scenario = resolve_scenario(scenario)
 
     digest = ""
@@ -311,7 +425,12 @@ def run_comparison(
     if store is not None:
         from repro.eval.store import cell_id
 
-        params, digest = cell_digest(cell_params, reference_mice_fraction)
+        params, digest = cell_digest(
+            cell_params,
+            reference_mice_fraction,
+            engine=engine,
+            engine_params=engine_params,
+        )
         # Fold in shards orphaned by a killed parent (the pool's own
         # merge in `finally` never ran), so those completed runs count
         # as done instead of being recomputed.
@@ -344,6 +463,8 @@ def run_comparison(
                 experiment=experiment,
                 digest=digest,
                 params=params,
+                engine=engine,
+                engine_params=engine_params,
             )
         if parallel_results is not None:
             fresh = dict(zip(pending, parallel_results))
@@ -355,6 +476,8 @@ def run_comparison(
                     base_seed,
                     reference_mice_fraction,
                     run_index,
+                    engine=engine,
+                    engine_params=engine_params,
                 )
                 fresh[run_index] = results
                 if store is not None:
@@ -395,14 +518,21 @@ def sweep(
     store: "ExperimentStore | None" = None,
     experiment: str | None = None,
     cell_params: Mapping[str, object] | None = None,
+    engine: str | None = None,
+    engine_params: Mapping[str, object] | None = None,
+    engine_params_for: Callable[[object], Mapping[str, object]] | None = None,
 ) -> dict[str, list[AveragedMetrics]]:
     """Run a parameter sweep: one comparison per value.
 
     Returns ``{scheme: [AveragedMetrics per swept value]}`` — exactly the
     series shape of the paper's line plots (Figs 6, 7, 10, 11).
     ``scenario_for`` may return a factory callable *or* a registered
-    scenario name per value; ``workers`` is forwarded to every
-    :func:`run_comparison`.
+    scenario name per value; ``workers``, ``engine``, and
+    ``engine_params`` are forwarded to every :func:`run_comparison`.
+    ``engine_params_for`` makes the *engine* itself sweepable (the
+    concurrency axes: load, timeout, ...): when given, it maps each
+    swept value to that comparison's engine knobs, overriding
+    ``engine_params``.
 
     With ``store`` the sweep is **resumable**: each swept value's cells
     carry the value inside their parameter hash, so re-invoking an
@@ -429,6 +559,10 @@ def sweep(
             store=store,
             experiment=label,
             cell_params=value_params,
+            engine=engine,
+            engine_params=engine_params_for(value)
+            if engine_params_for is not None
+            else engine_params,
         )
         for name in factories:
             series[name].append(comparison[name])

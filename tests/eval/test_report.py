@@ -37,9 +37,20 @@ class TestMatrix:
             runs, _ = scenario.eval_matrix.config(smoke=False)
             assert runs >= 3, scenario.name
 
-    def test_smoke_matrix_is_snapshot_only(self):
+    def test_smoke_matrix_is_snapshots_plus_concurrent_cell(self):
         names = [s.name for s in scenarios.report_scenarios(smoke=True)]
-        assert names == ["lightning-snapshot", "ripple-snapshot"]
+        assert names == [
+            "lightning-snapshot",
+            "payment-storm",
+            "ripple-snapshot",
+        ]
+
+    def test_smoke_matrix_has_one_concurrent_cell(self):
+        engines = {
+            s.name: s.engine for s in scenarios.report_scenarios(smoke=True)
+        }
+        assert engines["payment-storm"] == "concurrent"
+        assert sum(1 for e in engines.values() if e == "concurrent") == 1
 
 
 class TestGeneratedArtifacts:
@@ -79,8 +90,8 @@ class TestGeneratedArtifacts:
         from repro.eval.store import ExperimentStore
 
         store = ExperimentStore(smoke_report.out_dir)
-        # 2 scenarios x 2 seeds x 5 schemes
-        assert len(store) == 20
+        # 3 scenarios x 2 seeds x 5 schemes
+        assert len(store) == 30
 
 
 class TestDeterminismAndResume:

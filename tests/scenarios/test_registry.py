@@ -133,6 +133,53 @@ class TestEvalMatrix:
         assert all(s.eval_matrix.smoke for s in smoke)
 
 
+class TestScenarioEngine:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown engine"):
+            scenarios.register_scenario(
+                "tmp-bad-engine",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                engine="warp",
+            )
+        assert "tmp-bad-engine" not in scenarios.SCENARIOS
+
+    def test_engine_params_require_concurrent(self):
+        with pytest.raises(ScenarioError, match="engine='sequential'"):
+            scenarios.register_scenario(
+                "tmp-dangling-engine-params",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                engine_params={"load": 10.0},
+            )
+        assert "tmp-dangling-engine-params" not in scenarios.SCENARIOS
+
+    def test_bad_engine_params_rejected_eagerly(self):
+        with pytest.raises(ScenarioError, match="bad engine_params"):
+            scenarios.register_scenario(
+                "tmp-bad-engine-params",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                engine="concurrent",
+                engine_params={"lod": 10.0},
+            )
+        assert "tmp-bad-engine-params" not in scenarios.SCENARIOS
+
+    def test_catalog_registers_concurrency_scenarios(self):
+        # Satellite acceptance: >= 2 concurrency scenarios in the catalog.
+        concurrent = [
+            s for s in scenarios.iter_scenarios() if s.engine == "concurrent"
+        ]
+        assert len(concurrent) >= 2
+        names = {s.name for s in concurrent}
+        assert "payment-storm" in names and "timeout-stress" in names
+        for scenario in concurrent:
+            assert "@ concurrent" in scenario.ingredients()
+
+
 class TestCatalogRoundTrip:
     """Every listed name must resolve and build a runnable scenario."""
 
@@ -242,9 +289,9 @@ class TestDocstrings:
 
     def test_runner_and_compact_public_api_documented(self):
         from repro.network import compact
-        from repro.sim import runner
+        from repro.sim import concurrent, runner
 
-        for module in (runner, compact):
+        for module in (runner, compact, concurrent):
             assert module.__doc__
             for name, obj in public_functions(module):
                 assert obj.__doc__, f"{module.__name__}.{name} has no docstring"
