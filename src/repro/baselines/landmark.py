@@ -66,7 +66,13 @@ class LandmarkRouter(Router):
         )
         return ranked[: self.num_landmarks]
 
-    def on_topology_update(self) -> None:
+    def on_topology_update(self, events=None) -> None:
+        """Re-pick landmarks and drop every cached path.
+
+        Landmark selection ranks nodes by degree, which any open *or*
+        close can reorder, so this router keeps the wholesale refresh
+        (the ``events`` batch is accepted for hook uniformity).
+        """
         self._topology = self.view.compact_topology()
         self._landmarks = self._pick_landmarks()
         self._cache.clear()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.base import Router, RoutingOutcome
 from repro.network.channel import NodeId
+from repro.network.dynamics import prune_paths_for_events
 from repro.network.paths import bfs_shortest_path
 from repro.network.view import NetworkView
 from repro.traces.workload import Transaction
@@ -25,9 +26,16 @@ class ShortestPathRouter(Router):
         self._topology = view.compact_topology()
         self._path_cache: dict[tuple[NodeId, NodeId], list[NodeId] | None] = {}
 
-    def on_topology_update(self) -> None:
+    def on_topology_update(self, events=None) -> None:
+        """Refresh the topology; prune (close-only) or clear the cache.
+
+        A close can never shorten a path, so cached shortest paths that
+        do not cross a closed channel stay valid and optimal; an open
+        can shorten anything, so any open clears the whole cache (see
+        :func:`repro.network.dynamics.prune_paths_for_events`).
+        """
         self._topology = self.view.compact_topology()
-        self._path_cache.clear()
+        prune_paths_for_events(self._path_cache, events)
 
     def _shortest_path(self, source: NodeId, target: NodeId):
         pair = (source, target)

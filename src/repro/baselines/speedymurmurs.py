@@ -98,7 +98,13 @@ class SpeedyMurmursRouter(Router):
             tree_coordinates(self._topology, landmark) for landmark in landmarks
         ]
 
-    def on_topology_update(self) -> None:
+    def on_topology_update(self, events=None) -> None:
+        """Re-embed all spanning trees on the gossiped topology.
+
+        Tree embeddings are global (any structural change can move
+        coordinates), so this router keeps the wholesale rebuild; the
+        ``events`` batch is accepted for hook uniformity.
+        """
         self._topology = self.view.compact_topology()
         self._build_embeddings()
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.base import Router, RoutingOutcome
 from repro.network.channel import NodeId
+from repro.network.dynamics import prune_paths_for_events
 from repro.network.paths import edge_disjoint_shortest_paths
 from repro.network.view import NetworkView
 from repro.traces.workload import Transaction
@@ -74,9 +75,16 @@ class SpiderRouter(Router):
         self._topology = view.compact_topology()
         self._path_cache: dict[tuple[NodeId, NodeId], list[list[NodeId]]] = {}
 
-    def on_topology_update(self) -> None:
+    def on_topology_update(self, events=None) -> None:
+        """Refresh the topology; prune (close-only) or clear the cache.
+
+        Surviving edge-disjoint path sets remain valid and mutually
+        disjoint after unrelated closes (a fresh greedy selection might
+        pick differently, which is the documented approximation); any
+        open clears everything.
+        """
         self._topology = self.view.compact_topology()
-        self._path_cache.clear()
+        prune_paths_for_events(self._path_cache, events)
 
     def _paths(self, source: NodeId, target: NodeId) -> list[list[NodeId]]:
         pair = (source, target)

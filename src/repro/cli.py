@@ -313,10 +313,30 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_compact_flag(subparser: argparse.ArgumentParser) -> None:
+    """The incremental-maintenance escape hatch (run/sweep)."""
+    subparser.add_argument(
+        "--full-rebuild",
+        action="store_true",
+        help="disable incremental compact-topology maintenance: force a "
+        "full CSR rebuild on every churn event (benchmark baseline; "
+        "observably identical results, slower under churn)",
+    )
+
+
+def _apply_compact_mode(args) -> None:
+    """Honor ``--full-rebuild`` for this process (and its fork workers)."""
+    if getattr(args, "full_rebuild", False):
+        from repro.network.graph import ChannelGraph
+
+        ChannelGraph.incremental_compact = False
+
+
 def _cmd_run(args) -> int:
     import repro.scenarios as scenarios
     from repro.sim.runner import resolve_engine
 
+    _apply_compact_mode(args)
     try:
         scenario = scenarios.get_scenario(args.name)
         topo_overrides = _parse_param_overrides(args.topo_param)
@@ -465,6 +485,7 @@ def _cmd_sweep(args) -> int:
     from repro.sim.runner import resolve_engine, sweep as run_sweep
     from repro.sim import format_series
 
+    _apply_compact_mode(args)
     try:
         scenario = scenarios.get_scenario(args.name)
         role, separator, key = args.axis.partition(".")
@@ -806,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a dynamics parameter (repeatable)",
     )
     _add_engine_flags(run)
+    _add_compact_flag(run)
     _add_seed_flag(run)
     run.add_argument(
         "--out",
@@ -860,6 +882,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand for --workload-param transactions=N",
     )
     _add_engine_flags(sweep)
+    _add_compact_flag(sweep)
     _add_seed_flag(sweep)
     sweep.add_argument(
         "--out",

@@ -95,8 +95,14 @@ class Router(abc.ABC):
     def _route(self, transaction: Transaction) -> RoutingOutcome:
         """Scheme-specific routing logic."""
 
-    def on_topology_update(self) -> None:
-        """Hook invoked when the gossiped topology changes (default: no-op)."""
+    def on_topology_update(self, events=None) -> None:
+        """Hook invoked when the gossiped topology changes (default: no-op).
+
+        ``events`` (when the gossip layer provides it) is the batch of
+        :class:`~repro.network.dynamics.ChannelEvent` applied since the
+        last tick; events-aware routers use it to invalidate only the
+        caches the batch touched instead of everything.
+        """
 
     def transfers_fee(
         self, transfers: list[tuple[PathTuple, float]]

@@ -76,10 +76,21 @@ class FlashRouter(Router):
 
     # ------------------------------------------------------------ plumbing
 
-    def on_topology_update(self) -> None:
-        """Re-read the gossiped topology and refresh the routing table."""
+    def on_topology_update(self, events=None) -> None:
+        """Re-read the gossiped topology and refresh the routing table.
+
+        With an event batch (events-aware gossip) the refresh is
+        **selective**: only the BFS layers and table entries the batch
+        actually touched are recomputed
+        (:meth:`~repro.core.routing_table.RoutingTable.apply_events`).
+        Without one it falls back to the paper's full re-computation
+        ("all entries are re-computed using the latest G", §3.3).
+        """
         self._topology = self.view.compact_topology()
-        self.table.refresh(self._topology)
+        if events is None:
+            self.table.refresh(self._topology)
+        else:
+            self.table.apply_events(events, self._topology)
 
     # ------------------------------------------------------------- routing
 

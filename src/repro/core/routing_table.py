@@ -23,14 +23,27 @@ first (fewest-hop) path to **every** receiver.  A miss for a new receiver
 of a known sender then skips Yen's initial BFS, and the tree is shared
 across all ``(sender, *)`` pairs until the topology changes (detected via
 a topology token; :meth:`refresh` also drops the trees explicitly).
+
+Under churn the table supports **selective** maintenance
+(:meth:`RoutingTable.apply_events`): given the batch of channel events a
+gossip tick delivered, only the BFS layers an event can actually have
+touched are dropped (a close that the tree does not use cannot shorten
+or break any tree path; an open whose endpoints sit on neighboring BFS
+levels cannot change any distance), and only the entries whose cached
+paths cross a closed channel — or whose sender's layer was dropped —
+are recomputed.  Everything else survives, re-stamped against the new
+topology snapshot.  The precise survival rules are tabulated in
+``docs/ARCHITECTURE.md`` ("Incremental topology maintenance").
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.network.channel import NodeId
 from repro.network.compact import CompactTopology
+from repro.network.dynamics import ChannelEvent, ChannelEventType
 from repro.network.paths import Adjacency, bfs_tree_parents, yen_k_shortest_paths
 
 Path = list[NodeId]
@@ -56,6 +69,44 @@ def _topology_token(topology: Adjacency) -> tuple:
     )
 
 
+def _tree_depths(parents: dict[NodeId, NodeId]) -> dict[NodeId, int]:
+    """Depth of every tree node, derived from parent pointers.
+
+    Walks each node's parent chain with memoization (O(V) total); the
+    root maps to itself at depth 0.  Used by the open-event survival
+    rule of :meth:`RoutingTable.apply_events`.
+    """
+    depth: dict[NodeId, int] = {}
+    for node in parents:
+        chain = []
+        current = node
+        while current not in depth and parents[current] != current:
+            chain.append(current)
+            current = parents[current]
+        if current not in depth:
+            depth[current] = 0
+        base = depth[current]
+        for offset, member in enumerate(reversed(chain), start=1):
+            depth[member] = base + offset
+    return depth
+
+
+@dataclass
+class _SourceLayer:
+    """One cached structural BFS layer: spanning tree + lazy depths."""
+
+    topology: Adjacency
+    token: tuple
+    parents: dict[NodeId, NodeId]
+    depths: dict[NodeId, int] | None = None
+
+    def tree_depths(self) -> dict[NodeId, int]:
+        """The layer's node depths, derived from the tree on first use."""
+        if self.depths is None:
+            self.depths = _tree_depths(self.parents)
+        return self.depths
+
+
 @dataclass
 class TableEntry:
     """Cached paths for one (sender, receiver) pair."""
@@ -77,12 +128,13 @@ class RoutingTable:
     entry_ttl: float = float("inf")
     max_entries: int | None = None
     _entries: dict[tuple[NodeId, NodeId], TableEntry] = field(default_factory=dict)
-    #: sender -> (topology object, token, BFS spanning-tree parents).  The
-    #: topology reference pins the object alive so identity checks are
-    #: sound; the cache is bounded by MAX_SOURCE_LAYERS (oldest evicted).
-    _source_layers: dict[
-        NodeId, tuple[Adjacency, tuple, dict[NodeId, NodeId]]
-    ] = field(default_factory=dict, repr=False)
+    #: sender -> :class:`_SourceLayer` (topology object, token, BFS
+    #: spanning-tree parents, lazy depths).  The topology reference pins
+    #: the object alive so identity checks are sound; the cache is
+    #: bounded by MAX_SOURCE_LAYERS (oldest evicted).
+    _source_layers: dict[NodeId, _SourceLayer] = field(
+        default_factory=dict, repr=False
+    )
 
     #: Upper bound on cached per-source BFS trees (each is O(V)).
     MAX_SOURCE_LAYERS = 128
@@ -105,10 +157,14 @@ class RoutingTable:
         """BFS parent pointers rooted at ``sender`` (cached per source)."""
         token = _topology_token(topology)
         cached = self._source_layers.get(sender)
-        if cached is not None and cached[0] is topology and cached[1] == token:
-            return cached[2]
+        if (
+            cached is not None
+            and cached.topology is topology
+            and cached.token == token
+        ):
+            return cached.parents
         parents = bfs_tree_parents(topology, sender)
-        self._source_layers[sender] = (topology, token, parents)
+        self._source_layers[sender] = _SourceLayer(topology, token, parents)
         while len(self._source_layers) > self.MAX_SOURCE_LAYERS:
             oldest = next(iter(self._source_layers))
             del self._source_layers[oldest]
@@ -211,6 +267,111 @@ class RoutingTable:
             paths = self._ranked_paths(sender, receiver, topology, self.m)
             entry.paths = paths
             entry.yen_cursor = len(paths)
+
+    def _layer_touched(
+        self,
+        layer: _SourceLayer,
+        closes: list[tuple[NodeId, NodeId]],
+        opens: list[tuple[NodeId, NodeId]],
+    ) -> bool:
+        """Whether an event batch can have changed this layer's tree.
+
+        A close touches the layer only when the spanning tree *uses*
+        the closed channel (removing an unused edge cannot shorten any
+        distance, so every tree path stays valid and shortest).  An
+        open touches it only when the new channel's endpoints sit more
+        than one BFS level apart — or one endpoint is unreachable while
+        the other is not — since otherwise no distance from the root
+        can change.
+        """
+        parents = layer.parents
+        for a, b in closes:
+            if parents.get(a) == b or parents.get(b) == a:
+                return True
+        if opens:
+            depths = layer.tree_depths()
+            for a, b in opens:
+                depth_a = depths.get(a)
+                depth_b = depths.get(b)
+                if depth_a is None and depth_b is None:
+                    continue  # both outside the root's component
+                if depth_a is None or depth_b is None:
+                    return True  # the open connects a new region
+                if abs(depth_a - depth_b) > 1:
+                    return True
+        return False
+
+    def apply_events(
+        self, events: "Sequence[ChannelEvent]", topology: Adjacency
+    ) -> tuple[int, int]:
+        """Selective refresh from a batch of gossiped channel events.
+
+        The incremental counterpart of :meth:`refresh`: instead of
+        recomputing everything, drop only the source layers the batch
+        can have touched (see :meth:`_layer_touched`) and recompute only
+        the entries whose sender's layer was dropped, whose cached paths
+        cross a closed channel, or — when the batch contains opens —
+        whose sender has no cached layer to prove the open harmless.
+        Surviving layers are re-stamped against ``topology`` so they
+        keep validating; surviving entries keep their paths.  Those
+        paths remain *valid*, and each entry's rank-1 path remains a
+        true fewest-hop path (the depth rule guarantees single-source
+        distances are unchanged); lower-ranked backup paths, however,
+        may become strictly suboptimal after a "harmless" open (a new
+        channel can create shorter rank>=2 simple paths without moving
+        any BFS distance) — the documented approximation of the
+        incremental contract, covered at run time by the paper's
+        trial-and-error replacement and by the next full refresh.
+
+        Returns ``(layers_dropped, entries_recomputed)`` for tests and
+        diagnostics.
+        """
+        closes = [
+            (event.a, event.b)
+            for event in events
+            if event.kind is ChannelEventType.CLOSE
+        ]
+        opens = [
+            (event.a, event.b)
+            for event in events
+            if event.kind is ChannelEventType.OPEN
+        ]
+        token = _topology_token(topology)
+        dropped: set[NodeId] = set()
+        for sender, layer in list(self._source_layers.items()):
+            if self._layer_touched(layer, closes, opens):
+                del self._source_layers[sender]
+                dropped.add(sender)
+            else:
+                layer.topology = topology
+                layer.token = token
+        closed_channels = {frozenset((a, b)) for a, b in closes}
+        # Snapshot the layerless senders *before* recomputing anything:
+        # a recompute rebuilds its sender's layer as a side effect
+        # (through _source_tree), which must not let that sender's
+        # remaining entries dodge the conservative open rule.
+        layerless = {
+            sender
+            for sender, _receiver in self._entries
+            if sender not in self._source_layers
+        }
+        recomputed = 0
+        for (sender, receiver), entry in list(self._entries.items()):
+            stale = sender in dropped
+            if not stale and opens and sender in layerless:
+                stale = True
+            if not stale and closed_channels:
+                stale = any(
+                    frozenset((u, v)) in closed_channels
+                    for path in entry.paths
+                    for u, v in zip(path, path[1:])
+                )
+            if stale:
+                paths = self._ranked_paths(sender, receiver, topology, self.m)
+                entry.paths = paths
+                entry.yen_cursor = len(paths)
+                recomputed += 1
+        return len(dropped), recomputed
 
     def evict_stale(self, now: float) -> int:
         """Drop entries idle for longer than ``entry_ttl``; returns count."""

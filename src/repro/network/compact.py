@@ -26,15 +26,24 @@ library accepts a plain adjacency mapping — routers that still index by
 node id keep working unchanged.
 
 Instances are immutable snapshots.  :meth:`ChannelGraph.compact
-<repro.network.graph.ChannelGraph.compact>` caches one per graph and
-rebuilds it when the graph's topology version counter moves (channel
-opened or closed); balance changes never invalidate it.  In-flight
-holds are balance state too: the concurrent engine's hold/settle/
-release lifecycle (:mod:`repro.sim.concurrent`) moves escrow, never
-structure, so snapshots — and every cache keyed on them, like the
-routing table's BFS layers — stay valid while payments are in flight.
-Routers see holds where they must: through probed balances, which are
-net of escrow.
+<repro.network.graph.ChannelGraph.compact>` caches one per graph;
+when the graph's topology version counter moves (channel opened or
+closed) it derives the next snapshot **incrementally** via
+:meth:`CompactTopology.apply_delta` instead of re-interning the whole
+graph: closed channels *tombstone* their slots (removed from the live
+per-node rows, never renumbered), opened channels append fresh slots
+to a shared append-only arena, and the BFS/Yen/maxflow kernels iterate
+only the live rows — dead slots are skipped without any re-interning.
+Once tombstones plus arena slots outgrow a fraction of the base CSR,
+the next ``compact()`` call performs a full *compaction* rebuild.
+Balance changes never invalidate a snapshot.  In-flight holds are
+balance state too: the concurrent engine's hold/settle/release
+lifecycle (:mod:`repro.sim.concurrent`) moves escrow, never structure,
+so snapshots — and every cache keyed on them, like the routing table's
+BFS layers — stay valid while payments are in flight.  Routers see
+holds where they must: through probed balances, which are net of
+escrow.  The full delta lifecycle is documented in
+``docs/ARCHITECTURE.md`` ("Incremental topology maintenance").
 """
 
 from __future__ import annotations
@@ -69,6 +78,14 @@ class CompactTopology(Mapping):
     version:
         The owning graph's topology version at build time (0 for
         free-standing snapshots).
+
+    Snapshots derived through :meth:`apply_delta` share ``indices``,
+    ``slot_tail``, and ``reverse_slot`` append-only with their base (a
+    slot id, once assigned, always names the same directed edge);
+    ``indptr`` then describes the *base* CSR only and the live adjacency
+    is carried by :attr:`neighbor_idx` / :attr:`slot_rows`, which every
+    kernel iterates.  Tombstoned (closed) slots simply vanish from the
+    rows, so kernels never see them.
     """
 
     __slots__ = (
@@ -81,6 +98,11 @@ class CompactTopology(Mapping):
         "_index",
         "_slot_map",
         "_nbr_idx",
+        "_slot_rows",
+        "_num_slots",
+        "_base_slots",
+        "_dead_count",
+        "_arena_count",
         "_neighbor_lists",
         "_repr_keys",
         "_seen",
@@ -101,6 +123,12 @@ class CompactTopology(Mapping):
     #: overhead dominates) and, more importantly, unit-test-scale graphs
     #: keep bit-identical tie-breaking with the mapping-based BFS.
     BIDIRECTIONAL_MIN_NODES = 128
+
+    #: Compaction trigger: once tombstoned + arena slots exceed
+    #: ``max(COMPACT_MIN_SLOTS, base_slots // 4)`` the next
+    #: :meth:`ChannelGraph.compact` performs a full rebuild instead of
+    #: another delta, bounding both memory waste and chain length.
+    COMPACT_MIN_SLOTS = 64
 
     def __init__(
         self,
@@ -136,6 +164,15 @@ class CompactTopology(Mapping):
         # loops iterate these directly, which is markedly faster in Python
         # than repeatedly slicing/indexing the flat ``indices`` array.
         self._nbr_idx: list[list[int]] | None = None
+        # Per-node live slot lists, aligned entry-for-entry with
+        # ``_nbr_idx`` (slot of the edge to that neighbor).  The shared
+        # slot arrays may be extended append-only by derived snapshots,
+        # so slot-space bookkeeping is frozen per snapshot here.
+        self._slot_rows: list[list[int]] | None = None
+        self._num_slots = len(indices)
+        self._base_slots = len(indices)
+        self._dead_count = 0
+        self._arena_count = 0
         # Epoch-stamped BFS scratch buffers (reused across searches).
         self._seen = [0] * n
         self._parent = [0] * n
@@ -188,6 +225,165 @@ class CompactTopology(Mapping):
             indptr[i + 1] = len(indices)
         return cls(nodes, indptr, indices, version=version)
 
+    # ---------------------------------------------------- delta application
+
+    def should_compact(self, extra_ops: int = 0) -> bool:
+        """True when applying ``extra_ops`` more deltas should rebuild.
+
+        The trigger is cumulative: tombstoned plus arena slots since the
+        last full build (each channel op touches two directed slots)
+        crossing ``max(COMPACT_MIN_SLOTS, base_slots // 4)``.
+        :meth:`ChannelGraph.compact` consults this before choosing the
+        delta path, so compaction happens as a periodic full rebuild.
+        """
+        projected = self._dead_count + self._arena_count + 2 * extra_ops
+        return projected > max(self.COMPACT_MIN_SLOTS, self._base_slots // 4)
+
+    def apply_delta(
+        self, ops: Sequence[tuple], version: int = 0
+    ) -> "CompactTopology":
+        """Derive the snapshot after a batch of channel ops — O(touched).
+
+        ``ops`` is an ordered sequence of
+
+        * ``("node", n)`` — intern a (possibly) new node with no edges;
+        * ``("open", a, b)`` — open the channel ``a — b`` (both directed
+          slots are appended to the shared arena, at the *end* of each
+          endpoint's neighbor row, exactly where a from-scratch rebuild
+          of the mutated graph would place them);
+        * ``("close", a, b)`` — close the channel ``a — b`` (both slots
+          are tombstoned: dropped from the live rows and the slot map,
+          never renumbered).
+
+        Returns a **new** snapshot; ``self`` is left observably
+        unchanged, so holders of the old snapshot (a router between
+        gossip ticks) keep computing over a stale-but-consistent
+        topology.  The two snapshots share the append-only slot arrays
+        and all untouched per-node rows; only touched rows, the slot
+        map, and O(V) scratch are fresh.  Applying the same op stream
+        that mutated a :class:`ChannelGraph` yields a snapshot
+        observably identical to ``from_adjacency(graph.adjacency())``
+        (node order, neighbor order, BFS results) — the invariant the
+        property suite in ``tests/property/test_compact_incremental.py``
+        fuzzes.
+        """
+        nbrs = list(self.neighbor_idx)
+        rows = list(self.slot_rows)
+        nodes = self.nodes
+        index = self._index
+        repr_keys = self._repr_keys
+        nodes_copied = False
+        slot_map = dict(self._slot_map)
+        indices = self.indices
+        slot_tail = self.slot_tail
+        reverse_slot = self.reverse_slot
+        neighbor_lists = dict(self._neighbor_lists)
+        dead = self._dead_count
+        arena = self._arena_count
+        touched: set[int] = set()
+
+        def own(i: int) -> None:
+            # Copy-on-first-touch: rows of untouched nodes stay shared.
+            if i not in touched:
+                nbrs[i] = list(nbrs[i])
+                rows[i] = list(rows[i])
+                neighbor_lists.pop(i, None)
+                touched.add(i)
+
+        for op in ops:
+            kind = op[0]
+            if kind == "open":
+                _, a, b = op
+                ia = index[a]
+                ib = index[b]
+                own(ia)
+                own(ib)
+                s_ab = len(indices)
+                s_ba = s_ab + 1
+                indices.append(ib)
+                indices.append(ia)
+                slot_tail.append(ia)
+                slot_tail.append(ib)
+                reverse_slot.append(s_ba)
+                reverse_slot.append(s_ab)
+                nbrs[ia].append(ib)
+                rows[ia].append(s_ab)
+                nbrs[ib].append(ia)
+                rows[ib].append(s_ba)
+                slot_map[(ia, ib)] = s_ab
+                slot_map[(ib, ia)] = s_ba
+                arena += 2
+            elif kind == "close":
+                _, a, b = op
+                ia = index[a]
+                ib = index[b]
+                own(ia)
+                own(ib)
+                del slot_map[(ia, ib)]
+                del slot_map[(ib, ia)]
+                j = nbrs[ia].index(ib)
+                del nbrs[ia][j]
+                del rows[ia][j]
+                j = nbrs[ib].index(ia)
+                del nbrs[ib][j]
+                del rows[ib][j]
+                dead += 2
+            elif kind == "node":
+                node = op[1]
+                if node in index:
+                    continue
+                if not nodes_copied:
+                    # The nodes list and interning dict are shared with
+                    # the base; growing them in place would leak the new
+                    # node into the old snapshot's Mapping view.
+                    nodes = list(nodes)
+                    index = dict(index)
+                    if repr_keys is not None:
+                        repr_keys = list(repr_keys)
+                    nodes_copied = True
+                index[node] = len(nodes)
+                nodes.append(node)
+                nbrs.append([])
+                rows.append([])
+                if repr_keys is not None:
+                    repr_keys.append(repr(node))
+            else:
+                raise ValueError(f"unknown topology delta op {op!r}")
+
+        derived = object.__new__(CompactTopology)
+        derived.nodes = nodes
+        derived.indptr = self.indptr  # base CSR; kernels use the rows
+        derived.indices = indices
+        derived.slot_tail = slot_tail
+        derived.reverse_slot = reverse_slot
+        derived.version = version
+        derived._index = index
+        derived._slot_map = slot_map
+        derived._nbr_idx = nbrs
+        derived._slot_rows = rows
+        derived._num_slots = len(indices)
+        derived._base_slots = self._base_slots
+        derived._dead_count = dead
+        derived._arena_count = arena
+        derived._neighbor_lists = neighbor_lists
+        derived._repr_keys = repr_keys
+        n = len(nodes)
+        derived._seen = [0] * n
+        derived._parent = [0] * n
+        derived._parent_slot = [0] * n
+        derived._epoch = 0
+        derived._seen_b = None
+        derived._parent_b = None
+        derived._dist_f = None
+        derived._dist_b = None
+        # Channel deltas add/remove both directions together, so a
+        # symmetric topology stays symmetric; anything else recomputes.
+        derived._symmetric = True if self._symmetric is True else None
+        derived._flow_residual = None
+        derived._flow_stamp = None
+        derived._flow_epoch = 0
+        return derived
+
     # ---------------------------------------------------- mapping protocol
 
     def __getitem__(self, node: NodeId) -> tuple[NodeId, ...]:
@@ -200,10 +396,7 @@ class CompactTopology(Mapping):
         cached = self._neighbor_lists.get(i)
         if cached is None:
             nodes = self.nodes
-            cached = tuple(
-                nodes[v]
-                for v in self.indices[self.indptr[i] : self.indptr[i + 1]]
-            )
+            cached = tuple(nodes[v] for v in self.neighbor_idx[i])
             self._neighbor_lists[i] = cached
         return cached
 
@@ -224,8 +417,19 @@ class CompactTopology(Mapping):
 
     @property
     def num_slots(self) -> int:
-        """Number of directed edges (CSR slots)."""
-        return len(self.indices)
+        """Size of this snapshot's slot id space (includes tombstones).
+
+        Equal to the directed-edge count on a freshly built snapshot;
+        on a delta-derived one it also counts tombstoned slots, whose
+        ids are never reused until compaction.  See :attr:`live_slots`
+        for the live directed-edge count.
+        """
+        return self._num_slots
+
+    @property
+    def live_slots(self) -> int:
+        """Number of live directed edges (slot space minus tombstones)."""
+        return len(self._slot_map)
 
     def index_of(self, node: NodeId) -> int | None:
         """Dense index of ``node``, or ``None`` if unknown."""
@@ -237,7 +441,7 @@ class CompactTopology(Mapping):
 
     def degree_idx(self, i: int) -> int:
         """Out-degree of the node at dense index ``i``."""
-        return self.indptr[i + 1] - self.indptr[i]
+        return len(self.neighbor_idx[i])
 
     @property
     def repr_keys(self) -> list[str]:
@@ -266,7 +470,12 @@ class CompactTopology(Mapping):
 
     @property
     def neighbor_idx(self) -> list[list[int]]:
-        """Per-node neighbor index lists (lazily unpacked from CSR)."""
+        """Per-node live neighbor index lists (lazily unpacked from CSR).
+
+        On delta-derived snapshots these are maintained directly (closed
+        neighbors removed, opened ones appended) and are the kernels'
+        source of truth; the CSR slices only seed the first build.
+        """
         nbrs = self._nbr_idx
         if nbrs is None:
             indptr = self.indptr
@@ -279,11 +488,36 @@ class CompactTopology(Mapping):
         return nbrs
 
     @property
+    def slot_rows(self) -> list[list[int]]:
+        """Per-node live slot lists, aligned with :attr:`neighbor_idx`.
+
+        ``slot_rows[u][j]`` is the slot of the directed edge from ``u``
+        to ``neighbor_idx[u][j]``.  Kernels that need slot ids iterate
+        these rows (zip with the neighbor row), which is what lets them
+        skip tombstoned slots without consulting any per-slot liveness
+        flag.
+        """
+        rows = self._slot_rows
+        if rows is None:
+            indptr = self.indptr
+            rows = [
+                list(range(indptr[i], indptr[i + 1]))
+                for i in range(len(self.nodes))
+            ]
+            self._slot_rows = rows
+        return rows
+
+    @property
     def is_symmetric(self) -> bool:
-        """True when every directed edge has its reverse (undirected)."""
+        """True when every live directed edge has its reverse (undirected)."""
         symmetric = self._symmetric
         if symmetric is None:
-            symmetric = -1 not in self.reverse_slot
+            reverse_slot = self.reverse_slot
+            symmetric = all(
+                reverse_slot[slot] >= 0
+                for row in self.slot_rows
+                for slot in row
+            )
             self._symmetric = symmetric
         return symmetric
 
@@ -324,8 +558,8 @@ class CompactTopology(Mapping):
         reentrant: one flow computation per topology at a time.
         """
         if self._flow_residual is None:
-            self._flow_residual = [0.0] * len(self.indices)
-            self._flow_stamp = [0] * len(self.indices)
+            self._flow_residual = [0.0] * self._num_slots
+            self._flow_stamp = [0] * self._num_slots
         self._flow_epoch += 1
         return self._flow_residual, self._flow_stamp, self._flow_epoch
 
@@ -491,7 +725,7 @@ class CompactTopology(Mapping):
         eps: float,
     ) -> tuple[list[int], list[int]] | None:
         nbrs = self.neighbor_idx
-        indptr = self.indptr
+        srows = self.slot_rows
         reverse_slot = self.reverse_slot
         seen_f = self._seen
         parent_f = self._parent
@@ -513,10 +747,7 @@ class CompactTopology(Mapping):
                 nxt: list[int] = []
                 for u in front_f:
                     depth = dist_f[u] + 1
-                    slot = indptr[u]
-                    for v in nbrs[u]:
-                        this_slot = slot
-                        slot += 1
+                    for this_slot, v in zip(srows[u], nbrs[u]):
                         if seen_f[v] == epoch:
                             continue
                         if (
@@ -538,11 +769,9 @@ class CompactTopology(Mapping):
                 nxt = []
                 for u in front_b:
                     depth = dist_b[u] + 1
-                    slot = indptr[u]
-                    for v in nbrs[u]:
+                    for this_slot, v in zip(srows[u], nbrs[u]):
                         # The flow direction is v -> u: check the reverse.
-                        path_slot = reverse_slot[slot]
-                        slot += 1
+                        path_slot = reverse_slot[this_slot]
                         if seen_b[v] == epoch:
                             continue
                         if (
@@ -696,7 +925,7 @@ class CompactTopology(Mapping):
         seen = self._seen
         parent = self._parent
         parent_slot = self._parent_slot
-        indptr = self.indptr
+        srows = self.slot_rows
         nbrs = self.neighbor_idx
         seen[src] = epoch
         queue = [src]
@@ -705,10 +934,7 @@ class CompactTopology(Mapping):
         while head < len(queue):
             u = queue[head]
             head += 1
-            slot = indptr[u]
-            for v in nbrs[u]:
-                this_slot = slot
-                slot += 1
+            for this_slot, v in zip(srows[u], nbrs[u]):
                 if seen[v] == epoch:
                     continue
                 if stamp[this_slot] == flow_epoch and residual[this_slot] <= eps:
@@ -751,16 +977,15 @@ class CompactTopology(Mapping):
         seen = self._seen
         parent = self._parent
         parent_slot = self._parent_slot
-        indptr = self.indptr
-        indices = self.indices
+        srows = self.slot_rows
+        nbrs = self.neighbor_idx
         seen[src] = epoch
         queue = [src]
         head = 0
         while head < len(queue):
             u = queue[head]
             head += 1
-            for slot in range(indptr[u], indptr[u + 1]):
-                v = indices[slot]
+            for slot, v in zip(srows[u], nbrs[u]):
                 if seen[v] == epoch:
                     continue
                 if blocked is not None and blocked[v]:
@@ -787,21 +1012,28 @@ class CompactTopology(Mapping):
     def distances_idx(self, src: int, slot_ok=None) -> dict[int, int]:
         """Hop distance from ``src`` to every reachable dense index."""
         dist = {src: 0}
-        indptr = self.indptr
         nbrs = self.neighbor_idx
         queue = [src]
         head = 0
+        if slot_ok is None:
+            while head < len(queue):
+                u = queue[head]
+                head += 1
+                base = dist[u] + 1
+                for v in nbrs[u]:
+                    if v not in dist:
+                        dist[v] = base
+                        queue.append(v)
+            return dist
+        srows = self.slot_rows
         while head < len(queue):
             u = queue[head]
             head += 1
             base = dist[u] + 1
-            slot = indptr[u]
-            for v in nbrs[u]:
-                this_slot = slot
-                slot += 1
+            for this_slot, v in zip(srows[u], nbrs[u]):
                 if v in dist:
                     continue
-                if slot_ok is not None and not slot_ok(this_slot):
+                if not slot_ok(this_slot):
                     continue
                 dist[v] = base
                 queue.append(v)

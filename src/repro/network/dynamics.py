@@ -24,6 +24,7 @@ with topology events by timestamp.
 from __future__ import annotations
 
 import enum
+import inspect
 import math
 import random
 from collections.abc import Iterable, Sequence
@@ -213,13 +214,91 @@ def churn_events_for(
     return preset.model(graph, rng).generate(duration_seconds)
 
 
+def prune_paths_for_events(cache: dict, events) -> int:
+    """Selectively invalidate a ``key -> path(s)`` cache from an event batch.
+
+    Shared by the baseline routers' per-pair path caches.  ``cache``
+    values may be a single path (list of node ids), a list of paths, or
+    ``None`` (known-unreachable).  With ``events=None`` (legacy
+    no-argument gossip) or any OPEN in the batch, the cache is cleared
+    wholesale — a new channel can shorten or create a path between any
+    pair.  A close-only batch drops just the entries with a cached path
+    crossing a closed channel: surviving paths still exist and are still
+    fewest-hop (closing channels cannot shorten anything), and ``None``
+    entries stay correct because closes cannot create connectivity.
+    Returns the number of entries dropped.
+    """
+    if not cache:
+        return 0
+    if events is None or any(
+        event.kind is ChannelEventType.OPEN for event in events
+    ):
+        dropped = len(cache)
+        cache.clear()
+        return dropped
+    closed = {frozenset((event.a, event.b)) for event in events}
+    if not closed:
+        return 0
+
+    def crosses(path) -> bool:
+        return any(
+            frozenset((u, v)) in closed for u, v in zip(path, path[1:])
+        )
+
+    stale = []
+    for key, value in cache.items():
+        if value is None or not value:
+            continue
+        paths = value if isinstance(value[0], list) else [value]
+        if any(crosses(path) for path in paths):
+            stale.append(key)
+    for key in stale:
+        del cache[key]
+    return len(stale)
+
+
+def _accepts_events(router) -> bool:
+    """True when a router's ``on_topology_update`` hook takes ``events``.
+
+    Inspected by :meth:`GossipSchedule._gossip` at each gossip tick (not
+    cached at registration — routers may arrive through the ``routers``
+    init field), so legacy hooks (and test doubles) with the historical
+    zero-argument form keep working while events-aware routers get the
+    applied batch.
+    """
+    hook = getattr(router, "on_topology_update", None)
+    if hook is None:
+        return False
+    try:
+        signature = inspect.signature(hook)
+    except (TypeError, ValueError):  # pragma: no cover - builtins/extensions
+        return False
+    keyword_kinds = (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        # Only keyword-passable parameters count: a positional-only or
+        # *args "events" could not receive the events= call below.
+        if parameter.name == "events" and parameter.kind in keyword_kinds:
+            return True
+    return False
+
+
 @dataclass
 class GossipSchedule:
     """Applies channel events and gossips them to routers in batches.
 
     Events become effective on the graph immediately at their time (the
     chain does not wait), but routers only learn about them at the next
-    gossip tick — the paper's periodic-gossip assumption.
+    gossip tick — the paper's periodic-gossip assumption.  Each gossip
+    hands routers whose ``on_topology_update`` hook accepts an
+    ``events`` parameter the batch of events applied since the last
+    tick (refused no-ops excluded), which is what enables selective
+    cache invalidation (:meth:`repro.core.routing_table.RoutingTable.\
+apply_events`); legacy no-argument hooks keep working unchanged.
     """
 
     graph: ChannelGraph
@@ -230,9 +309,16 @@ class GossipSchedule:
     _last_gossip: float = 0.0
     routers: list = field(default_factory=list)
     applied_events: int = 0
+    #: Events applied since the last gossip tick — the batch handed to
+    #: events-aware router hooks, then cleared.
+    _batch: list[ChannelEvent] = field(default_factory=list)
 
     def register(self, router) -> None:
-        """Routers get ``on_topology_update()`` at gossip ticks."""
+        """Routers get ``on_topology_update()`` at gossip ticks.
+
+        Hooks that declare an ``events`` keyword (or ``**kwargs``)
+        additionally receive the batch of applied events per tick.
+        """
         self.routers.append(router)
 
     def advance_to(self, now: float) -> int:
@@ -242,9 +328,11 @@ class GossipSchedule:
         """
         applied = 0
         while self._cursor < len(self.events) and self.events[self._cursor].time <= now:
-            if self._apply(self.events[self._cursor]):
+            event = self.events[self._cursor]
+            if self._apply(event):
                 applied += 1
                 self._pending_gossip = True
+                self._batch.append(event)
             self._cursor += 1
         self.applied_events += applied
         if self._pending_gossip and now - self._last_gossip >= self.gossip_period:
@@ -257,8 +345,17 @@ class GossipSchedule:
             self._gossip(now)
 
     def _gossip(self, now: float) -> None:
+        batch = tuple(self._batch)
+        # Acceptance is inspected per tick rather than cached at
+        # registration: routers may be seeded through the ``routers``
+        # init field or appended directly, and gossip ticks are rare
+        # enough (one per period) that the signature check is free.
         for router in self.routers:
-            router.on_topology_update()
+            if _accepts_events(router):
+                router.on_topology_update(events=batch)
+            else:
+                router.on_topology_update()
+        self._batch.clear()
         self._pending_gossip = False
         self._last_gossip = now
 

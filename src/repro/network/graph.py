@@ -72,6 +72,17 @@ class Transfer:
 class ChannelGraph:
     """An offchain network: nodes connected by bidirectional channels."""
 
+    #: Class-wide switch for incremental compact-topology maintenance.
+    #: When True (the default), :meth:`compact` derives the next snapshot
+    #: from the cached one by applying the logged channel deltas
+    #: (:meth:`CompactTopology.apply_delta`) and only falls back to a
+    #: full ``from_adjacency`` rebuild at the compaction threshold.
+    #: Setting it to False forces the full rebuild on every topology
+    #: change — the benchmark baseline (``repro run --full-rebuild``,
+    #: ``benchmarks/test_bench_churn.py``).  Both paths are observably
+    #: identical; the property suite fuzzes that equivalence.
+    incremental_compact = True
+
     def __init__(self) -> None:
         self._adj: dict[NodeId, dict[NodeId, Channel]] = {}
         #: Bumped on every structural change (node/channel added or
@@ -79,13 +90,23 @@ class ChannelGraph:
         #: is stale.  Balance changes do not move it.
         self._topology_version = 0
         self._compact: CompactTopology | None = None
+        #: Structural ops since the cached snapshot was built, in
+        #: application order — the delta stream :meth:`compact` replays.
+        #: Only populated while a snapshot exists to replay against.
+        self._pending_deltas: list[tuple] = []
 
     # ------------------------------------------------------------ topology
+
+    def _log_delta(self, op: tuple) -> None:
+        """Record one structural op for incremental snapshot replay."""
+        if self._compact is not None:
+            self._pending_deltas.append(op)
 
     def add_node(self, node: NodeId) -> None:
         if node not in self._adj:
             self._adj[node] = {}
             self._topology_version += 1
+            self._log_delta(("node", node))
 
     def add_channel(
         self,
@@ -112,6 +133,7 @@ class ChannelGraph:
         self._adj[a][b] = channel
         self._adj[b][a] = channel
         self._topology_version += 1
+        self._log_delta(("open", a, b))
         return channel
 
     def remove_channel(self, a: NodeId, b: NodeId) -> None:
@@ -121,6 +143,7 @@ class ChannelGraph:
         del self._adj[a][b]
         del self._adj[b][a]
         self._topology_version += 1
+        self._log_delta(("close", a, b))
 
     def has_node(self, node: NodeId) -> bool:
         return node in self._adj
@@ -173,19 +196,38 @@ class ChannelGraph:
     def compact(self) -> CompactTopology:
         """Interned CSR snapshot of the structural topology (cached).
 
-        Rebuilt lazily whenever :attr:`topology_version` has moved since
-        the last call; node and neighbor order match :meth:`adjacency`.
-        Path results on either form are identical below the bidirectional
-        kernel threshold and equal-length (possibly different tie-breaks)
-        above it — see :mod:`repro.network.compact`.
+        Refreshed lazily whenever :attr:`topology_version` has moved
+        since the last call.  With :attr:`incremental_compact` on (the
+        default) the refresh **applies the logged channel deltas** to
+        the cached snapshot (O(touched) instead of O(V+E); see
+        :meth:`CompactTopology.apply_delta`), falling back to a full
+        ``from_adjacency`` rebuild only on the first call, at the
+        compaction threshold, or when the flag is off.  Either way the
+        returned snapshot is a new object whose node and neighbor order
+        match :meth:`adjacency`, so path results on either form are
+        identical below the bidirectional kernel threshold and
+        equal-length (possibly different tie-breaks) above it — see
+        :mod:`repro.network.compact`.
         """
         cached = self._compact
         if cached is not None and cached.version == self._topology_version:
             return cached
-        snapshot = CompactTopology.from_adjacency(
-            {node: list(nbrs) for node, nbrs in self._adj.items()},
-            version=self._topology_version,
-        )
+        pending = self._pending_deltas
+        if (
+            cached is not None
+            and pending
+            and self.incremental_compact
+            and not cached.should_compact(len(pending))
+        ):
+            snapshot = cached.apply_delta(
+                pending, version=self._topology_version
+            )
+        else:
+            snapshot = CompactTopology.from_adjacency(
+                {node: list(nbrs) for node, nbrs in self._adj.items()},
+                version=self._topology_version,
+            )
+        self._pending_deltas = []
         self._compact = snapshot
         return snapshot
 

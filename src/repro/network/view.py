@@ -117,7 +117,12 @@ class NetworkView:
 
         A drop-in mapping replacement for :meth:`topology` that the path
         algorithms run on without per-node hashing; see
-        :mod:`repro.network.compact`.
+        :mod:`repro.network.compact`.  Under churn the cached snapshot
+        is maintained *incrementally* (closed channels tombstoned,
+        opened ones arena-appended) rather than rebuilt, so calling
+        this after an event batch is cheap; a previously returned
+        snapshot stays frozen, which is what preserves the gossip-delay
+        semantics for routers holding one between ticks.
         """
         return self._graph.compact()
 

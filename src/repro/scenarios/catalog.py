@@ -29,7 +29,10 @@ from repro.network.channel import NodeId
 from repro.network.dynamics import CHURN_PRESETS, ChannelEvent, ChurnPreset, churn_events_for
 from repro.network.graph import ChannelGraph
 from repro.network.topology import (
+    barabasi_albert_edges,
+    build_channel_graph,
     lightning_like_topology,
+    lognormal_sampler,
     ripple_like_topology,
     testbed_topology,
 )
@@ -96,6 +99,72 @@ def _build_testbed_smallworld(
     )
 
 
+def _build_ba_scale(
+    rng: random.Random, nodes: int, attach: int, capacity_median: float
+) -> ChannelGraph:
+    """10k-class Barabási–Albert PCN: heavy-tailed degrees, evened funds.
+
+    The scale substrate for the churn scenarios: pure preferential
+    attachment (``attach`` edges per arriving node) with log-normal
+    channel funds split evenly — big enough to make per-event topology
+    rebuilds measurable, structurally similar to real PCN crawls.
+    """
+    edges = barabasi_albert_edges(nodes, attach, rng)
+    sampler = lognormal_sampler(2.0 * capacity_median, 1.2)
+    return build_channel_graph(edges, sampler, rng, balanced=True)
+
+
+def _build_lightning_xl(
+    rng: random.Random, path: str, nodes: int, attach: int
+) -> ChannelGraph:
+    """The bundled Lightning snapshot grown to ``nodes`` by attachment.
+
+    Loads the snapshot, then adds nodes one at a time, each opening
+    ``attach`` channels to degree-proportionally sampled existing nodes
+    — the growth process behind real PCN degree distributions — with
+    capacities resampled from the snapshot's own empirical capacity
+    list and a random directional split (the snapshot's crawled-skew
+    convention).  The result keeps the snapshot's capacity scale and
+    degree shape at 10k-node size.
+    """
+    graph = load_snapshot(path)
+    if graph.num_nodes() >= nodes:
+        return graph
+    capacities = [
+        channel.total_capacity() for channel in graph.channels()
+    ]
+    repeated: list[NodeId] = []
+    for channel in graph.channels():
+        repeated.extend((channel.a, channel.b))
+    # Tiny snapshots can offer fewer distinct endpoints than ``attach``;
+    # bound each draw so the sampler cannot spin forever.  The distinct
+    # count is tracked incrementally (it only ever grows) rather than
+    # recomputed per added node, which would make the build O(n * E).
+    distinct = len(set(repeated))
+    next_id = 1 + max(
+        (node for node in graph.nodes if isinstance(node, int)), default=-1
+    )
+    for _ in range(nodes - graph.num_nodes()):
+        new_node = next_id
+        next_id += 1
+        targets: set[NodeId] = set()
+        wanted = min(attach, distinct)
+        while len(targets) < wanted:
+            targets.add(rng.choice(repeated))
+        distinct += 1  # the new node becomes an attachment candidate
+        for target in sorted(targets, key=repr):
+            total = rng.choice(capacities)
+            fraction = rng.random()
+            graph.add_channel(
+                new_node,
+                target,
+                total * fraction,
+                total * (1.0 - fraction),
+            )
+            repeated.extend((new_node, target))
+    return graph
+
+
 def _load_snapshot_topology(
     rng: random.Random, path: str, scale: float
 ) -> ChannelGraph:
@@ -144,6 +213,33 @@ register_topology(
         ParamSpec("nodes", int, 50, "node count"),
         ParamSpec("ring_neighbors", int, 6, "ring degree k (even)"),
         ParamSpec("rewire_beta", float, 0.3, "rewiring probability"),
+    ),
+)
+
+register_topology(
+    "ba-scale",
+    _build_ba_scale,
+    "large Barabási–Albert generator for the 10k-node scale scenarios",
+    params=(
+        ParamSpec("nodes", int, 10_000, "node count"),
+        ParamSpec("attach", int, 2, "edges per arriving node (BA m)"),
+        ParamSpec(
+            "capacity_median", float, 500.0, "median directional balance"
+        ),
+    ),
+)
+
+register_topology(
+    "lightning-xl",
+    _build_lightning_xl,
+    "bundled Lightning snapshot grown to 10k nodes by preferential "
+    "attachment (capacities resampled from the snapshot)",
+    params=(
+        ParamSpec(
+            "path", str, str(LIGHTNING_SNAPSHOT_JSON), "snapshot file path"
+        ),
+        ParamSpec("nodes", int, 10_000, "target node count after growth"),
+        ParamSpec("attach", int, 3, "channels per added node"),
     ),
 )
 
@@ -512,6 +608,34 @@ register_scenario(
         "timeout": 1.0,
         "max_retries": 0,
     },
+)
+
+# ---- Scale scenarios (10k nodes, incremental topology maintenance) ----
+
+register_scenario(
+    "scale-churn",
+    "10k-node Barabási–Albert network under heavy channel churn "
+    "(~600 onchain events/hour): the stress case for incremental "
+    "compact-topology maintenance and selective routing-table "
+    "invalidation (see benchmarks/test_bench_churn.py)",
+    topology="ba-scale",
+    workload="mice-elephant",
+    workload_params={"mice_median": 20.0, "elephant_median": 1_500.0},
+    dynamics="churn-custom",
+    dynamics_params={
+        "opens_per_hour": 300.0,
+        "closes_per_hour": 300.0,
+        "capacity_median": 800.0,
+    },
+)
+
+register_scenario(
+    "lightning-xl",
+    "the bundled Lightning snapshot grown to 10k nodes by preferential "
+    "attachment, under the paper's Lightning trace workload — the pure "
+    "scale scenario (run it on either engine via --engine)",
+    topology="lightning-xl",
+    workload="lightning-trace",
 )
 
 register_scenario(

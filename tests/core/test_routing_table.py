@@ -144,9 +144,9 @@ class TestStructuralBfsLayer:
         table = RoutingTable(m=2)
         compact = grid_graph.compact()
         table.lookup(0, 8, compact)
-        cached_topology, token, _ = table._source_layers[0]
-        assert cached_topology is compact
-        assert token == (compact.version, compact.num_slots)
+        layer = table._source_layers[0]
+        assert layer.topology is compact
+        assert layer.token == (compact.version, compact.num_slots)
 
     def test_lru_bound_interplay_with_structural_cache(self, grid_graph):
         # Entry eviction (max_entries) must not corrupt the shared tree:
@@ -172,3 +172,140 @@ class TestStructuralBfsLayer:
         replacement = table.replace_path(0, 8, dead, adjacency)
         ranked = yen_k_shortest_paths(adjacency, 0, 8, 3)
         assert replacement == ranked[2]
+
+
+class TestSelectiveInvalidation:
+    """apply_events: only the BFS layers/entries an event touched go."""
+
+    @staticmethod
+    def _close(a, b):
+        from repro.network.dynamics import ChannelEvent, ChannelEventType
+
+        return ChannelEvent(0.0, ChannelEventType.CLOSE, a, b)
+
+    @staticmethod
+    def _open(a, b):
+        from repro.network.dynamics import ChannelEvent, ChannelEventType
+
+        return ChannelEvent(0.0, ChannelEventType.OPEN, a, b, 10.0, 10.0)
+
+    @staticmethod
+    def _unused_edge(graph, parents):
+        """A channel the BFS tree does not traverse."""
+        for channel in graph.channels():
+            a, b = channel.a, channel.b
+            if parents.get(a) != b and parents.get(b) != a:
+                return a, b
+        raise AssertionError("grid trees never use every channel")
+
+    def test_unrelated_close_keeps_layer_and_entries(self, grid_graph):
+        table = RoutingTable(m=1)
+        compact = grid_graph.compact()
+        table.lookup(0, 1, compact)  # entry whose single path is 0-1
+        layer = table._source_layers[0]
+        a, b = self._unused_edge(grid_graph, layer.parents)
+        assert {a, b} != {0, 1}
+        grid_graph.remove_channel(a, b)
+        refreshed = grid_graph.compact()
+        assert refreshed is not compact
+        dropped, recomputed = table.apply_events(
+            [self._close(a, b)], refreshed
+        )
+        assert (dropped, recomputed) == (0, 0)
+        survivor = table._source_layers[0]
+        assert survivor.parents is layer.parents  # tree reused, not rebuilt
+        assert survivor.topology is refreshed  # but re-stamped to validate
+        assert table._source_tree(0, refreshed) is layer.parents
+
+    def test_tree_edge_close_drops_layer_and_recomputes_entry(
+        self, grid_graph
+    ):
+        table = RoutingTable(m=2)
+        compact = grid_graph.compact()
+        entry = table.lookup(0, 8, compact)
+        layer = table._source_layers[0]
+        # Close a channel the (0, 8) cached paths actually traverse.
+        path = entry.paths[0]
+        u, v = path[0], path[1]
+        assert layer.parents.get(v) == u
+        grid_graph.remove_channel(u, v)
+        refreshed = grid_graph.compact()
+        dropped, recomputed = table.apply_events(
+            [self._close(u, v)], refreshed
+        )
+        assert dropped >= 1 and recomputed >= 1
+        assert 0 not in table._source_layers or (
+            table._source_layers[0].parents is not layer.parents
+        )
+        for new_path in table.lookup(0, 8, refreshed).paths:
+            assert (u, v) not in zip(new_path, new_path[1:])
+
+    def test_short_range_open_keeps_layer(self, grid_graph):
+        table = RoutingTable(m=1)
+        table.lookup(0, 8, grid_graph.compact())
+        layer = table._source_layers[0]
+        depths = layer.tree_depths()
+        assert abs(depths[1] - depths[3]) <= 1  # both at depth 1
+        grid_graph.add_channel(1, 3, 10.0, 10.0)
+        refreshed = grid_graph.compact()
+        dropped, recomputed = table.apply_events(
+            [self._open(1, 3)], refreshed
+        )
+        assert (dropped, recomputed) == (0, 0)
+        assert table._source_layers[0].parents is layer.parents
+
+    def test_shortcut_open_drops_layer(self, grid_graph):
+        table = RoutingTable(m=1)
+        table.lookup(0, 8, grid_graph.compact())
+        layer = table._source_layers[0]
+        assert abs(layer.tree_depths()[0] - layer.tree_depths()[8]) > 1
+        grid_graph.add_channel(0, 8, 10.0, 10.0)
+        refreshed = grid_graph.compact()
+        dropped, recomputed = table.apply_events(
+            [self._open(0, 8)], refreshed
+        )
+        assert dropped == 1 and recomputed == 1
+        entry = table.lookup(0, 8, refreshed)
+        assert entry.paths[0] == [0, 8]  # the new shortcut is picked up
+
+    def test_open_without_layer_recomputes_conservatively(self, grid_graph):
+        table = RoutingTable(m=1)
+        compact = grid_graph.compact()
+        table.lookup(0, 8, compact)
+        table.invalidate_structural_cache()  # simulate LRU eviction
+        grid_graph.add_channel(0, 8, 10.0, 10.0)
+        refreshed = grid_graph.compact()
+        dropped, recomputed = table.apply_events(
+            [self._open(0, 8)], refreshed
+        )
+        assert dropped == 0 and recomputed == 1
+        assert table.lookup(0, 8, refreshed).paths[0] == [0, 8]
+
+    def test_layerless_sender_recomputes_all_entries(self, line_graph):
+        # Regression: recomputing a layerless sender's first entry
+        # rebuilds its BFS layer as a side effect; that must not let
+        # the sender's *other* entries dodge the conservative open
+        # rule and keep stale non-shortest paths.
+        line_graph.add_channel(3, 4, 100.0, 100.0)
+        line_graph.add_channel(4, 5, 100.0, 100.0)  # line 0-1-2-3-4-5
+        table = RoutingTable(m=1)
+        compact = line_graph.compact()
+        table.lookup(0, 4, compact)
+        table.lookup(0, 5, compact)
+        table.invalidate_structural_cache()  # simulate LRU eviction
+        line_graph.add_channel(0, 4, 10.0, 10.0)  # shortcut
+        refreshed = line_graph.compact()
+        dropped, recomputed = table.apply_events(
+            [self._open(0, 4)], refreshed
+        )
+        assert (dropped, recomputed) == (0, 2)
+        assert table.lookup(0, 4, refreshed).paths[0] == [0, 4]
+        assert table.lookup(0, 5, refreshed).paths[0] == [0, 4, 5]
+
+    def test_empty_batch_restamps_only(self, grid_graph):
+        table = RoutingTable(m=1)
+        compact = grid_graph.compact()
+        table.lookup(0, 8, compact)
+        layer = table._source_layers[0]
+        assert table.apply_events([], compact) == (0, 0)
+        assert table._source_layers[0] is layer

@@ -106,6 +106,16 @@ class _RecordingRouter:
         self.updates += 1
 
 
+class _EventsAwareRouter:
+    """A router whose hook takes the applied-event batch."""
+
+    def __init__(self):
+        self.batches = []
+
+    def on_topology_update(self, events=None):
+        self.batches.append(events)
+
+
 class TestGossipSchedule:
     def test_open_applies(self, grid_graph):
         schedule = GossipSchedule(
@@ -160,6 +170,73 @@ class TestGossipSchedule:
         schedule.register(router)
         schedule.flush(1_000.0)
         assert router.updates == 0
+
+    def test_events_aware_hook_receives_applied_batch(self, grid_graph):
+        router = _EventsAwareRouter()
+        legacy = _RecordingRouter()
+        events = [
+            close_event(1.0, 0, 1),
+            close_event(2.0, 0, 8),  # no such channel: refused, not gossiped
+            open_event(3.0, 0, 8),
+        ]
+        schedule = GossipSchedule(
+            graph=grid_graph, events=events, gossip_period=0.0
+        )
+        schedule.register(router)
+        schedule.register(legacy)
+        schedule.advance_to(10.0)
+        assert legacy.updates == 1
+        (batch,) = router.batches
+        assert [
+            (event.kind, event.a, event.b) for event in batch
+        ] == [
+            (ChannelEventType.CLOSE, 0, 1),
+            (ChannelEventType.OPEN, 0, 8),
+        ]
+        # The batch resets per tick: a later event arrives alone.
+        grid_graph.add_channel(20, 21, 5.0, 5.0)
+        schedule.events = list(schedule.events) + [close_event(20.0, 20, 21)]
+        schedule.advance_to(30.0)
+        assert len(router.batches) == 2
+        assert [(e.a, e.b) for e in router.batches[1]] == [(20, 21)]
+
+    def test_routers_seeded_via_init_field_are_gossiped(self, grid_graph):
+        # Regression: routers passed through the dataclass ``routers``
+        # field (not register()) must still be gossiped, with the
+        # event batch for events-aware hooks.
+        aware = _EventsAwareRouter()
+        legacy = _RecordingRouter()
+        schedule = GossipSchedule(
+            graph=grid_graph,
+            events=[close_event(1.0, 0, 1)],
+            gossip_period=0.0,
+            routers=[aware, legacy],
+        )
+        schedule.advance_to(5.0)
+        assert legacy.updates == 1
+        assert [(e.a, e.b) for e in aware.batches[0]] == [(0, 1)]
+
+    def test_refused_close_keeps_version_and_every_cache(self, grid_graph):
+        # Regression (incremental-maintenance contract): a close refused
+        # because of in-flight escrow is a pure no-op — no version bump,
+        # the compact snapshot survives untouched, and routing-table
+        # layers keyed on it keep validating.
+        from repro.core.routing_table import RoutingTable
+
+        snapshot = grid_graph.compact()
+        table = RoutingTable(m=2)
+        table.lookup(0, 8, snapshot)
+        layer = table._source_layers[0]
+        version = grid_graph.topology_version
+        grid_graph.hold(0, 1, 5.0)
+        schedule = GossipSchedule(
+            graph=grid_graph, events=[close_event(1.0, 0, 1)]
+        )
+        assert schedule.advance_to(10.0) == 0
+        assert grid_graph.topology_version == version
+        assert grid_graph.compact() is snapshot
+        table.lookup(0, 8, grid_graph.compact())
+        assert table._source_layers[0] is layer  # no recompute, no restamp
 
 
 class TestDynamicSimulation:
