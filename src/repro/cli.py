@@ -14,6 +14,8 @@ Examples
     python -m repro run lightning-diurnal --runs 3 --workers 2
     python -m repro run ripple-churn --dynamics-param preset=volatile
     python -m repro run ripple-snapshot --seed 7 --out results/run1
+    python -m repro run jam-hubs --runs 3                     # attack scenario
+    python -m repro run ripple-default --fault jamming --fault-param channels=16
     python -m repro run payment-storm --runs 3                # concurrent engine
     python -m repro run ripple-default --engine concurrent --load 100 --timeout 10
     python -m repro sweep ripple-default --axis topology.capacity_median \
@@ -30,17 +32,21 @@ topologies (slow).
 ``run`` executes any scenario registered in the
 :mod:`repro.scenarios` catalog (``list-scenarios`` prints it) and
 compares the four paper schemes on it; ``--topo-param``/
-``--workload-param``/``--dynamics-param KEY=VALUE`` override any
-registered parameter.  ``--engine {sequential,concurrent}`` selects the
-simulation engine (default: the scenario's registered engine) and
+``--workload-param``/``--dynamics-param``/``--fault-param KEY=VALUE``
+override any registered parameter.  ``--engine
+{sequential,concurrent}`` selects the simulation engine (default: the
+scenario's registered engine) and
 ``--load``/``--timeout``/``--hop-latency``/``--max-retries``/
 ``--retry-delay`` set the concurrent engine's knobs — see
-docs/CONCURRENCY.md.
+docs/CONCURRENCY.md.  ``--fault NAME`` attaches (or swaps in) an
+adversarial fault model — jamming, hub-kill, liquidity-drain, or
+partition — and the comparison table grows the resilience metric
+columns; see docs/RESILIENCE.md.
 
 ``sweep`` runs one registered scenario across several values of one
 parameter (``--axis ROLE.KEY --values V1,V2,...``, where ROLE is
-``topology``/``workload``/``dynamics`` or — for concurrent scenarios —
-``engine``); with ``--out DIR`` every completed (scheme, seed) cell is
+``topology``/``workload``/``dynamics``/``fault`` or — for concurrent
+scenarios — ``engine``); with ``--out DIR`` every completed (scheme, seed) cell is
 persisted to ``DIR/records.jsonl`` and ``--resume`` re-invokes an
 interrupted sweep without recomputing completed cells.  ``report``
 regenerates the paper's headline comparison (Flash vs all four
@@ -235,12 +241,15 @@ def _cmd_list_scenarios(args) -> int:
         ]
         if scenario.dynamics:
             sections.append(("dynamics", scenarios.DYNAMICS.get(scenario.dynamics)))
+        if scenario.faults:
+            sections.append(("fault", scenarios.FAULTS.get(scenario.faults)))
         for role, entry in sections:
             print(f"  {role} = {entry.name}: {entry.description}")
             defaults = {
                 "topology": scenario.topology_params,
                 "workload": scenario.workload_params,
                 "dynamics": scenario.dynamics_params,
+                "fault": scenario.fault_params,
             }[role]
             for spec in entry.params:
                 default = defaults.get(spec.name, spec.default)
@@ -258,6 +267,8 @@ _ENGINE_FLAGS = {
     "hop_latency": "hop_latency",
     "max_retries": "max_retries",
     "retry_delay": "retry_delay",
+    "retry_backoff": "retry_backoff",
+    "retry_jitter": "retry_jitter",
 }
 
 
@@ -311,6 +322,38 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
         default=None,
         help="seconds between engine-level retries (concurrent engine)",
     )
+    subparser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        help="exponential multiplier on successive retry waits; 1.0 keeps "
+        "every wait at --retry-delay (concurrent engine)",
+    )
+    subparser.add_argument(
+        "--retry-jitter",
+        type=float,
+        default=None,
+        help="stretch each retry wait by a seeded uniform factor in "
+        "[1, 1+J], de-synchronizing retry storms (concurrent engine)",
+    )
+
+
+def _add_fault_flags(subparser: argparse.ArgumentParser) -> None:
+    """The adversarial fault-injection flags (run/sweep)."""
+    subparser.add_argument(
+        "--fault",
+        metavar="NAME",
+        default=None,
+        help="attach an adversarial fault model (jamming, hub-kill, "
+        "liquidity-drain, partition) or swap the scenario's registered "
+        "one — see docs/RESILIENCE.md",
+    )
+    subparser.add_argument(
+        "--fault-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a fault-model parameter (repeatable)",
+    )
 
 
 def _add_compact_flag(subparser: argparse.ArgumentParser) -> None:
@@ -332,22 +375,43 @@ def _apply_compact_mode(args) -> None:
         ChannelGraph.incremental_compact = False
 
 
+def _apply_fault_flag(scenario, fault_name: str | None):
+    """Attach or swap the scenario's fault ingredient for ``--fault``.
+
+    Swapping to a *different* model drops the scenario's registered
+    ``fault_params`` (they belong to the old model's parameter space);
+    repeating the registered name keeps them.
+    """
+    if fault_name is None or fault_name == scenario.faults:
+        return scenario
+    import dataclasses
+
+    import repro.scenarios as scenarios
+
+    scenarios.FAULTS.get(fault_name)  # unknown names fail here, eagerly
+    return dataclasses.replace(scenario, faults=fault_name, fault_params={})
+
+
 def _cmd_run(args) -> int:
     import repro.scenarios as scenarios
     from repro.sim.runner import resolve_engine
 
     _apply_compact_mode(args)
     try:
-        scenario = scenarios.get_scenario(args.name)
+        scenario = _apply_fault_flag(
+            scenarios.get_scenario(args.name), args.fault
+        )
         topo_overrides = _parse_param_overrides(args.topo_param)
         workload_overrides = _parse_param_overrides(args.workload_param)
         dynamics_overrides = _parse_param_overrides(args.dynamics_param)
+        fault_overrides = _parse_param_overrides(args.fault_param)
         if args.transactions is not None:
             workload_overrides["transactions"] = args.transactions
         factory = scenario.factory(
             topology_overrides=topo_overrides,
             workload_overrides=workload_overrides,
             dynamics_overrides=dynamics_overrides,
+            fault_overrides=fault_overrides,
         )
         engine, engine_params = resolve_engine(
             args.name, args.engine, _engine_overrides(args)
@@ -389,7 +453,11 @@ def _cmd_run(args) -> int:
             # stale records instead of silently resuming from them.
             # (run_comparison folds engine + resolved knobs in itself.)
             cell_params=_scenario_cell_params(
-                scenario, topo_overrides, workload_overrides, dynamics_overrides
+                scenario,
+                topo_overrides,
+                workload_overrides,
+                dynamics_overrides,
+                fault_overrides,
             )
             if store is not None
             else None,
@@ -403,6 +471,7 @@ def _cmd_run(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     concurrent = engine == "concurrent"
+    faulted = scenario.faults is not None
     rows = [
         [
             name,
@@ -421,6 +490,17 @@ def _cmd_run(args) -> int:
             if concurrent
             else []
         )
+        + (
+            [
+                f"{100 * metrics.attack_success_ratio:.1f}",
+                f"{100 * metrics.control_success_ratio:.1f}",
+                f"{100 * metrics.resilience_delta:+.1f}",
+                f"{metrics.recovery_half_life:.0f}",
+                f"{metrics.adversary_escrow:.3g}",
+            ]
+            if faulted
+            else []
+        )
         for name, metrics in comparison.metrics.items()
     ]
     table = format_table(
@@ -434,6 +514,17 @@ def _cmd_run(args) -> int:
         + (
             ["p50 lat (s)", "p95 lat (s)", "retries", "timeouts"]
             if concurrent
+            else []
+        )
+        + (
+            [
+                "attacked sr (%)",
+                "control sr (%)",
+                "delta (pp)",
+                "recovery (s)",
+                "adv. escrow",
+            ]
+            if faulted
             else []
         ),
         rows,
@@ -451,13 +542,25 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _scenario_cell_params(scenario, topo, workload, dynamics) -> dict:
-    """The store cell key for a CLI run: overrides + registered defaults."""
-    return {
+def _scenario_cell_params(scenario, topo, workload, dynamics, fault=None) -> dict:
+    """The store cell key for a CLI run: overrides + registered defaults.
+
+    The ``faults`` section is only present when a fault ingredient is
+    active, so every pre-existing fault-free record keeps its digest
+    (and ``--resume`` keeps recognising it).
+    """
+    params = {
         "topology": {**dict(scenario.topology_params), **topo},
         "workload": {**dict(scenario.workload_params), **workload},
         "dynamics": {**dict(scenario.dynamics_params), **dynamics},
     }
+    if scenario.faults is not None:
+        params["faults"] = {
+            "model": scenario.faults,
+            **dict(scenario.fault_params),
+            **(fault or {}),
+        }
+    return params
 
 
 def _records_line(store, cells_before: int, expected: int) -> str:
@@ -477,7 +580,7 @@ def _records_line(store, cells_before: int, expected: int) -> str:
     return line + ")"
 
 
-_SWEEP_ROLES = ("topology", "workload", "dynamics", "engine")
+_SWEEP_ROLES = ("topology", "workload", "dynamics", "fault", "engine")
 
 
 def _cmd_sweep(args) -> int:
@@ -487,7 +590,10 @@ def _cmd_sweep(args) -> int:
 
     _apply_compact_mode(args)
     try:
-        scenario = scenarios.get_scenario(args.name)
+        scenario = _apply_fault_flag(
+            scenarios.get_scenario(args.name), args.fault
+        )
+        fault_overrides = _parse_param_overrides(args.fault_param)
         role, separator, key = args.axis.partition(".")
         if not separator or role not in _SWEEP_ROLES or not key:
             raise scenarios.ScenarioError(
@@ -497,6 +603,25 @@ def _cmd_sweep(args) -> int:
         values = [value for value in args.values.split(",") if value]
         if not values:
             raise scenarios.ScenarioError("--values needs at least one value")
+        if role == "fault":
+            if scenario.faults is None:
+                raise scenarios.ScenarioError(
+                    "--axis fault.KEY needs a fault ingredient (pass "
+                    "--fault NAME or pick an attack scenario)"
+                )
+            # Validate the axis key and every value eagerly, before any
+            # run starts (bind raises on unknown keys/bad values).
+            fault_entry = scenarios.FAULTS.get(scenario.faults)
+            for value in values:
+                bound = fault_entry.bind(
+                    {**scenario.fault_params, **fault_overrides, key: value}
+                )
+                try:
+                    fault_entry.builder(**bound)
+                except ValueError as exc:
+                    raise scenarios.ScenarioError(
+                        f"bad fault axis value {value!r}: {exc}"
+                    ) from exc
         engine, engine_params = resolve_engine(
             args.name, args.engine, _engine_overrides(args)
         )
@@ -545,6 +670,7 @@ def _cmd_sweep(args) -> int:
             "topology_overrides": {},
             "workload_overrides": {},
             "dynamics_overrides": {},
+            "fault_overrides": dict(fault_overrides),
         }
         if role != "engine":
             overrides[f"{role}_overrides"][key] = value
@@ -556,6 +682,7 @@ def _cmd_sweep(args) -> int:
             topology_overrides=overrides["topology_overrides"],
             workload_overrides=overrides["workload_overrides"],
             dynamics_overrides=overrides["dynamics_overrides"] or None,
+            fault_overrides=overrides["fault_overrides"] or None,
         )
 
     print(
@@ -565,7 +692,7 @@ def _cmd_sweep(args) -> int:
     )
     cell_params = {
         "axis": args.axis,
-        "base": _scenario_cell_params(scenario, {}, {}, {}),
+        "base": _scenario_cell_params(scenario, {}, {}, {}, fault_overrides),
     }
     if args.transactions is not None:
         cell_params["transactions"] = args.transactions
@@ -596,6 +723,12 @@ def _cmd_sweep(args) -> int:
         metric_blocks += [
             ("p95 latency (s)", "latency_p95", 1.0),
             ("timeout failures", "timeout_failures", 1.0),
+        ]
+    if scenario.faults is not None:
+        metric_blocks += [
+            ("attacked success ratio (%)", "attack_success_ratio", 100.0),
+            ("resilience delta (pp)", "resilience_delta", 100.0),
+            ("adversary escrow (fund-s)", "adversary_escrow", 1.0),
         ]
     blocks = []
     for label, metric, scale in metric_blocks:
@@ -826,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="override a dynamics parameter (repeatable)",
     )
+    _add_fault_flags(run)
     _add_engine_flags(run)
     _add_compact_flag(run)
     _add_seed_flag(run)
@@ -843,8 +977,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep one scenario parameter across several values",
         description="Run a registered scenario once per value of one "
         "parameter (--axis ROLE.KEY, ROLE one of topology/workload/"
-        "dynamics/engine; list-scenarios --verbose shows every KEY, "
-        "docs/CONCURRENCY.md the engine KEYs) and print "
+        "dynamics/fault/engine; list-scenarios --verbose shows every KEY, "
+        "docs/CONCURRENCY.md the engine KEYs, docs/RESILIENCE.md the "
+        "fault KEYs) and print "
         "one series table per headline metric. With --out DIR every "
         "completed (scheme, seed) cell is persisted to DIR/records.jsonl; "
         "--resume continues an interrupted sweep without recomputing "
@@ -881,6 +1016,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shorthand for --workload-param transactions=N",
     )
+    _add_fault_flags(sweep)
     _add_engine_flags(sweep)
     _add_compact_flag(sweep)
     _add_seed_flag(sweep)

@@ -10,7 +10,9 @@ writes, under an output directory (``results/`` by default):
   to recompute),
 * ``tables/*.md`` — one markdown pivot per headline metric (success
   ratio, succeeded volume, probing overhead) plus the mice/elephant
-  breakdown, mean ± 95% CI across seeds, fixed float precision,
+  breakdown, mean ± 95% CI across seeds, fixed float precision; fault
+  scenarios additionally populate the resilience tables
+  (docs/RESILIENCE.md),
 * ``figures/*`` — grouped-bar charts (PNG with matplotlib, otherwise a
   deterministic SVG fallback),
 * ``summary.json`` — the aggregates as canonical JSON,
@@ -61,10 +63,12 @@ def report_factories():
 class TableSpec:
     """One report table: a metric pivot with fixed display formatting.
 
-    ``concurrent_only=True`` restricts the pivot to records that carry
-    the metric — i.e. concurrent-engine cells (sequential records do
-    not persist the concurrency fields); the table is skipped entirely
-    when no such records exist.
+    ``optional_metric=True`` restricts the pivot to records that carry
+    the metric — concurrent-engine cells for the concurrency fields,
+    fault-scenario cells for the resilience fields (other records do
+    not persist them); the table is skipped entirely when no such
+    records exist, so fault-free/sequential-only reports (including the
+    golden-checked smoke subset) are unchanged by these tables.
     """
 
     slug: str
@@ -74,7 +78,7 @@ class TableSpec:
     scale: float = 1.0
     figure: str = ""
     chart: bool = False
-    concurrent_only: bool = False
+    optional_metric: bool = False
 
 
 #: The headline tables, in report order.  ``figure`` maps each table to
@@ -141,7 +145,7 @@ TABLES: tuple[TableSpec, ...] = (
         "latency_p95",
         ".3f",
         figure="concurrent engine (docs/CONCURRENCY.md)",
-        concurrent_only=True,
+        optional_metric=True,
     ),
     TableSpec(
         "timeout_failures",
@@ -149,7 +153,42 @@ TABLES: tuple[TableSpec, ...] = (
         "timeout_failures",
         ".2f",
         figure="concurrent engine (docs/CONCURRENCY.md)",
-        concurrent_only=True,
+        optional_metric=True,
+    ),
+    TableSpec(
+        "attack_success_ratio",
+        "Success ratio under attack (%)",
+        "attack_success_ratio",
+        ".2f",
+        scale=100.0,
+        figure="fault injection (docs/RESILIENCE.md)",
+        chart=True,
+        optional_metric=True,
+    ),
+    TableSpec(
+        "resilience_delta",
+        "Resilience delta (pp, control − attacked)",
+        "resilience_delta",
+        ".2f",
+        scale=100.0,
+        figure="fault injection (docs/RESILIENCE.md)",
+        optional_metric=True,
+    ),
+    TableSpec(
+        "recovery_half_life",
+        "Recovery half-life after heal (s)",
+        "recovery_half_life",
+        ".1f",
+        figure="fault injection (docs/RESILIENCE.md)",
+        optional_metric=True,
+    ),
+    TableSpec(
+        "adversary_escrow",
+        "Adversary-captured escrow (fund-seconds)",
+        "adversary_escrow",
+        ".6g",
+        figure="fault injection (docs/RESILIENCE.md)",
+        optional_metric=True,
     ),
 )
 
@@ -170,16 +209,21 @@ def _report_cell_params(scenario, transactions: int) -> dict[str, object]:
 
     Includes the scenario's *registered* ingredient defaults, so editing
     the catalog invalidates stale records instead of silently resuming
-    from them (same rationale as the CLI's run/sweep keying).
+    from them (same rationale as the CLI's run/sweep keying).  The
+    ``faults`` section only exists for fault scenarios, so every
+    fault-free record written before the fault layer keeps its digest.
     """
-    return {
-        "transactions": transactions,
-        "base": {
-            "topology": dict(scenario.topology_params),
-            "workload": dict(scenario.workload_params),
-            "dynamics": dict(scenario.dynamics_params),
-        },
+    base: dict[str, object] = {
+        "topology": dict(scenario.topology_params),
+        "workload": dict(scenario.workload_params),
+        "dynamics": dict(scenario.dynamics_params),
     }
+    if scenario.faults is not None:
+        base["faults"] = {
+            "model": scenario.faults,
+            **dict(scenario.fault_params),
+        }
+    return {"transactions": transactions, "base": base}
 
 
 def generate_report(
@@ -299,7 +343,7 @@ def generate_report(
     for table in TABLES:
         table_records = records
         table_scenarios = scenario_order
-        if table.concurrent_only:
+        if table.optional_metric:
             table_records = [
                 record
                 for record in records

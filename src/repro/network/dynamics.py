@@ -38,11 +38,37 @@ from repro.network.graph import ChannelGraph
 class ChannelEventType(enum.Enum):
     OPEN = "open"
     CLOSE = "close"
+    #: Adversary escrow: place a hold on a channel that never settles
+    #: (channel jamming; see :mod:`repro.sim.faults`).
+    JAM = "jam"
+    #: Release the jam holds previously placed under the event's ``tag``.
+    UNJAM = "unjam"
+    #: Adversary rebalancing flood: shift a fraction of one direction's
+    #: available balance to the other side, unbalancing the channel.
+    DRAIN = "drain"
+
+#: The event kinds that change the graph's structure (and therefore get
+#: gossiped to routers).  The fault kinds only move or escrow balance.
+TOPOLOGY_EVENT_KINDS = frozenset(
+    {ChannelEventType.OPEN, ChannelEventType.CLOSE}
+)
 
 
 @dataclass(frozen=True)
 class ChannelEvent:
-    """One onchain topology change, effective at ``time``."""
+    """One onchain topology change, effective at ``time``.
+
+    The fault-injection layer (:mod:`repro.sim.faults`) reuses this
+    stream for adversarial actions; the extra fields all default to
+    no-op values so plain churn events are unchanged:
+
+    * ``force`` — a CLOSE with ``force=True`` models a unilateral
+      (breach/expiry) close: it goes through even when escrow is in
+      flight, releasing every hold on the channel first;
+    * ``fraction`` — for JAM/DRAIN, the share of the currently
+      *available* directional balance the adversary grabs;
+    * ``tag`` — correlation id linking a JAM to its UNJAM.
+    """
 
     time: float
     kind: ChannelEventType
@@ -51,6 +77,9 @@ class ChannelEvent:
     #: Deposits for OPEN events (ignored for CLOSE).
     balance_a: float = 0.0
     balance_b: float = 0.0
+    force: bool = False
+    fraction: float = 0.0
+    tag: str = ""
 
 
 class ChurnModel:
@@ -312,6 +341,15 @@ apply_events`); legacy no-argument hooks keep working unchanged.
     #: Events applied since the last gossip tick — the batch handed to
     #: events-aware router hooks, then cleared.
     _batch: list[ChannelEvent] = field(default_factory=list)
+    #: Optional engine adapter with a ``force_close(a, b)`` method,
+    #: called before a ``force=True`` CLOSE removes the channel so the
+    #: engine can release (not strand) any payment holds in flight there.
+    hold_owner: object | None = None
+    #: Time-integral of adversary-held escrow (fund-seconds), accrued as
+    #: jam holds are released; the ``adversary_escrow`` resilience metric.
+    adversary_escrow_seconds: float = 0.0
+    #: Live jam holds per tag: ``(src, dst, amount, placed_at)`` tuples.
+    _jam_holds: dict = field(default_factory=dict)
 
     def register(self, router) -> None:
         """Routers get ``on_topology_update()`` at gossip ticks.
@@ -367,8 +405,36 @@ apply_events`); legacy no-argument hooks keep working unchanged.
                 event.a, event.b, event.balance_a, event.balance_b
             )
             return True
+        if event.kind is ChannelEventType.JAM:
+            self._apply_jam(event)
+            return False  # balance-level only: not gossiped, not batched
+        if event.kind is ChannelEventType.UNJAM:
+            self._release_jams(event.tag, event.time)
+            return False
+        if event.kind is ChannelEventType.DRAIN:
+            self._apply_drain(event)
+            return False
         if not self.graph.has_channel(event.a, event.b):
             return False
+        if event.force:
+            # A unilateral (breach/expiry) close goes through regardless
+            # of in-flight escrow.  Release order matters: the engine's
+            # payment holds first (hold_owner), then any adversary jam
+            # holds, then a defensive sweep of whatever remains — only
+            # then is the channel actually removed, so nothing strands.
+            if self.hold_owner is not None:
+                self.hold_owner.force_close(event.a, event.b)
+            self._release_jams_on(event.a, event.b, event.time)
+            channel = self.graph.channel(event.a, event.b)
+            for src, dst in (
+                (channel.a, channel.b),
+                (channel.b, channel.a),
+            ):
+                residue = channel.held(src, dst)
+                if residue > 0:
+                    channel.release_hold(src, dst, residue)
+            self.graph.remove_channel(event.a, event.b)
+            return True
         if self.graph.channel(event.a, event.b).total_held() > 0:
             # A channel with in-flight escrow cannot cooperatively close
             # (pending HTLCs pin it open); dropping the event keeps the
@@ -380,6 +446,88 @@ apply_events`); legacy no-argument hooks keep working unchanged.
         self.graph.remove_channel(event.a, event.b)
         return True
 
+    # ------------------------------------------------- adversarial events
+
+    def _apply_jam(self, event: ChannelEvent) -> None:
+        """Escrow ``fraction`` of each direction's available balance.
+
+        The holds are recorded under the event's ``tag`` and stay in
+        place until the matching UNJAM (or :meth:`finalize`), occupying
+        capacity every probe and payment sees — the jamming attack.
+        Missing channels (e.g. closed by interleaved churn) are no-ops.
+        """
+        if not self.graph.has_channel(event.a, event.b):
+            return
+        channel = self.graph.channel(event.a, event.b)
+        holds = self._jam_holds.setdefault(event.tag, [])
+        for src, dst in ((channel.a, channel.b), (channel.b, channel.a)):
+            amount = event.fraction * channel.balance(src, dst)
+            if amount <= 0:
+                continue
+            channel.hold(src, dst, amount)
+            holds.append((src, dst, amount, event.time))
+
+    def _apply_drain(self, event: ChannelEvent) -> None:
+        """Shift ``fraction`` of the a->b available balance to b's side.
+
+        Models a colluding-sender flood that unbalances a hot channel:
+        total channel funds are conserved, but the drained direction
+        loses sending capacity.  Missing channels are no-ops.
+        """
+        if not self.graph.has_channel(event.a, event.b):
+            return
+        channel = self.graph.channel(event.a, event.b)
+        amount = event.fraction * channel.balance(event.a, event.b)
+        if amount > 0:
+            channel.transfer(event.a, event.b, amount)
+
+    def _release_jams(self, tag: str, now: float) -> None:
+        """Release every live jam hold under ``tag``, accruing escrow time."""
+        for src, dst, amount, placed_at in self._jam_holds.pop(tag, ()):
+            self.adversary_escrow_seconds += amount * max(0.0, now - placed_at)
+            if self.graph.has_channel(src, dst):
+                self.graph.release_hold(src, dst, amount)
+
+    def _release_jams_on(self, a: NodeId, b: NodeId, now: float) -> None:
+        """Release jam holds pinned to one channel (it is force-closing)."""
+        pair = frozenset((a, b))
+        for tag, holds in self._jam_holds.items():
+            kept = []
+            for src, dst, amount, placed_at in holds:
+                if frozenset((src, dst)) == pair:
+                    self.adversary_escrow_seconds += amount * max(
+                        0.0, now - placed_at
+                    )
+                    self.graph.release_hold(src, dst, amount)
+                else:
+                    kept.append((src, dst, amount, placed_at))
+            self._jam_holds[tag] = kept
+
+    def finalize(self, now: float) -> None:
+        """Release any jam holds still live at simulation end.
+
+        Keeps the end-of-run escrow-drained invariant: every adversary
+        hold is accounted (its escrow time accrued) and returned, so
+        ``graph.total_held()`` goes back to zero.
+        """
+        for tag in list(self._jam_holds):
+            self._release_jams(tag, now)
+
+
+def merge_event_streams(
+    events: Sequence[ChannelEvent] | None,
+    fault_events: Sequence[ChannelEvent] | None,
+) -> list[ChannelEvent]:
+    """Interleave churn and fault events into one time-ordered stream.
+
+    The sort is stable and churn is listed first, so at equal timestamps
+    organic topology changes apply before adversarial actions — the
+    fixed precedence both engines share for determinism.
+    """
+    merged = [*(events or ()), *(fault_events or ())]
+    merged.sort(key=lambda event: event.time)
+    return merged
+
 
 def run_dynamic_simulation(
     graph: ChannelGraph,
@@ -389,26 +537,38 @@ def run_dynamic_simulation(
     rng: random.Random | None = None,
     gossip_period: float = 600.0,
     reference_mice_fraction: float = 0.9,
+    faults=None,
+    copy_graph: bool = True,
 ):
     """Trace-driven simulation with topology churn interleaved by time.
 
     Same contract as :func:`repro.sim.engine.run_simulation`, but channel
     events fire between transactions and routers are re-gossiped on the
-    configured period.  The input graph is always copied.
+    configured period.  The input graph is copied unless
+    ``copy_graph=False`` (mutate in place — invariant tests inspect the
+    final balances).
+
+    ``faults`` (a :class:`repro.sim.faults.FaultPlan`) injects the
+    plan's adversarial events into the same stream (churn first at equal
+    timestamps) and attaches the resilience metric family to the result
+    (see :func:`repro.sim.faults.resilience_metrics`).
     """
     from repro.network.view import NetworkView
     from repro.sim.metrics import SimulationResult, TransactionRecord
 
-    working = graph.copy()
+    working = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
     view = NetworkView(working)
     router = router_factory(view, workload, run_rng)
+    if faults is not None:
+        events = merge_event_streams(events, faults.events)
     schedule = GossipSchedule(
         graph=working, events=events, gossip_period=gossip_period
     )
     schedule.register(router)
     threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
     result = SimulationResult(scheme=router.name)
+    horizon = workload[len(workload) - 1].time if len(workload) else 0.0
     for transaction in workload:
         schedule.advance_to(transaction.time)
         probes_before = view.counters.probe_messages
@@ -425,5 +585,16 @@ def run_dynamic_simulation(
                 payment_messages=view.counters.payment_messages - payments_before,
                 paths_used=len(outcome.transfers),
             )
+        )
+    if faults is not None:
+        from repro.sim.faults import resilience_metrics
+
+        schedule.finalize(horizon)
+        result.resilience = resilience_metrics(
+            [transaction.time for transaction in workload],
+            result.records,
+            faults,
+            adversary_escrow_seconds=schedule.adversary_escrow_seconds,
+            horizon=horizon,
         )
     return result

@@ -1,4 +1,4 @@
-"""Scenario subsystem: registry-driven (topology x workload x dynamics).
+"""Scenario subsystem: registry-driven (topology x workload x dynamics x faults).
 
 ``import repro.scenarios`` loads the built-in catalog; after that,
 
@@ -19,6 +19,7 @@ from repro.scenarios.loaders import (
 )
 from repro.scenarios.registry import (
     DYNAMICS,
+    FAULTS,
     SCENARIOS,
     TOPOLOGIES,
     WORKLOADS,
@@ -31,6 +32,7 @@ from repro.scenarios.registry import (
     get_scenario,
     iter_scenarios,
     register_dynamics,
+    register_fault,
     register_scenario,
     register_topology,
     register_workload,
@@ -44,6 +46,7 @@ from repro.scenarios import catalog as _catalog  # noqa: E402  (import for effec
 __all__ = [
     "DYNAMICS",
     "EvalMatrix",
+    "FAULTS",
     "ParamSpec",
     "Registry",
     "RegistryEntry",
@@ -59,6 +62,7 @@ __all__ = [
     "load_snapshot_csv",
     "load_snapshot_json",
     "register_dynamics",
+    "register_fault",
     "register_scenario",
     "register_topology",
     "register_workload",

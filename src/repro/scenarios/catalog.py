@@ -10,8 +10,12 @@ registries of :mod:`repro.scenarios.registry` with:
   and the synthetic stress shapes of :mod:`repro.traces.synthetic`;
 * **dynamics models** — churn presets from
   :mod:`repro.network.dynamics`;
+* **fault models** — the four adversary behaviours of
+  :mod:`repro.sim.faults` (jamming, hub kill, liquidity drain,
+  partition/heal), see ``docs/RESILIENCE.md``;
 * **scenarios** — the compositions listed by ``repro list-scenarios``
-  and documented in ``docs/SCENARIOS.md``.
+  and documented in ``docs/SCENARIOS.md``, including the attack
+  scenarios that carry resilience metrics.
 
 Every builder here is a thin, documented adapter from the registry
 calling convention (``rng`` first, keyword parameters from
@@ -41,9 +45,16 @@ from repro.scenarios.registry import (
     EvalMatrix,
     ParamSpec,
     register_dynamics,
+    register_fault,
     register_scenario,
     register_topology,
     register_workload,
+)
+from repro.sim.faults import (
+    HubKillSpec,
+    JammingSpec,
+    LiquidityDrainSpec,
+    PartitionSpec,
 )
 from repro.traces.generators import (
     generate_lightning_workload,
@@ -481,6 +492,139 @@ register_dynamics(
 
 
 # --------------------------------------------------------------------------
+# Fault models (docs/RESILIENCE.md)
+# --------------------------------------------------------------------------
+
+
+def _build_fault_jamming(
+    channels: int,
+    fraction: float,
+    start_frac: float,
+    duration_frac: float,
+    jam_hold_time: float,
+    samples: int,
+) -> JammingSpec:
+    """Channel jamming: adversary escrow on max-betweenness channels."""
+    return JammingSpec(
+        channels=channels,
+        fraction=fraction,
+        start_frac=start_frac,
+        duration_frac=duration_frac,
+        jam_hold_time=jam_hold_time,
+        samples=samples,
+    )
+
+
+def _build_fault_hub_kill(hubs: int, by: str, start_frac: float) -> HubKillSpec:
+    """Targeted hub failure: force-close the top hubs' channels."""
+    return HubKillSpec(hubs=hubs, by=by, start_frac=start_frac)
+
+
+def _build_fault_liquidity_drain(
+    channels: int,
+    fraction: float,
+    start_frac: float,
+    duration_frac: float,
+    interval: float,
+) -> LiquidityDrainSpec:
+    """Liquidity drain: periodic floods unbalancing the hottest channels."""
+    return LiquidityDrainSpec(
+        channels=channels,
+        fraction=fraction,
+        start_frac=start_frac,
+        duration_frac=duration_frac,
+        interval=interval,
+    )
+
+
+def _build_fault_partition(
+    fraction: float, start_frac: float, heal_frac: float
+) -> PartitionSpec:
+    """Partition/heal wave: force-close a graph cut, then reopen it."""
+    return PartitionSpec(
+        fraction=fraction, start_frac=start_frac, heal_frac=heal_frac
+    )
+
+
+register_fault(
+    "jamming",
+    _build_fault_jamming,
+    "adversary HTLCs escrow a fraction of the highest-betweenness "
+    "channels' balance in never-settling waves",
+    params=(
+        ParamSpec("channels", int, 8, "number of channels to jam"),
+        ParamSpec(
+            "fraction", float, 0.9, "share of available balance per jam"
+        ),
+        ParamSpec(
+            "start_frac", float, 0.25, "attack start as a horizon fraction"
+        ),
+        ParamSpec(
+            "duration_frac", float, 0.5, "attack length as a horizon fraction"
+        ),
+        ParamSpec(
+            "jam_hold_time", float, 600.0, "seconds each jam wave is held"
+        ),
+        ParamSpec(
+            "samples", int, 64, "BFS sources for betweenness approximation"
+        ),
+    ),
+)
+
+register_fault(
+    "hub-kill",
+    _build_fault_hub_kill,
+    "force-close every channel of the top-k degree/capacity hubs mid-run "
+    "(permanent damage: no heal, no recovery half-life)",
+    params=(
+        ParamSpec("hubs", int, 3, "number of hub nodes to kill"),
+        ParamSpec("by", str, "degree", "hub ranking: 'degree' or 'capacity'"),
+        ParamSpec(
+            "start_frac", float, 0.3, "attack start as a horizon fraction"
+        ),
+    ),
+)
+
+register_fault(
+    "liquidity-drain",
+    _build_fault_liquidity_drain,
+    "colluding senders periodically push a fraction of the richest "
+    "direction across the highest-capacity channels, unbalancing them",
+    params=(
+        ParamSpec("channels", int, 10, "number of channels to drain"),
+        ParamSpec(
+            "fraction", float, 0.5, "share of available balance per burst"
+        ),
+        ParamSpec(
+            "start_frac", float, 0.25, "attack start as a horizon fraction"
+        ),
+        ParamSpec(
+            "duration_frac", float, 0.5, "attack length as a horizon fraction"
+        ),
+        ParamSpec("interval", float, 600.0, "seconds between drain bursts"),
+    ),
+)
+
+register_fault(
+    "partition",
+    _build_fault_partition,
+    "force-close the cut around a BFS region of the graph, then reopen "
+    "it after a heal delay (close and open both gossip-batched)",
+    params=(
+        ParamSpec(
+            "fraction", float, 0.3, "share of nodes inside the partition"
+        ),
+        ParamSpec(
+            "start_frac", float, 0.3, "attack start as a horizon fraction"
+        ),
+        ParamSpec(
+            "heal_frac", float, 0.3, "heal delay as a horizon fraction"
+        ),
+    ),
+)
+
+
+# --------------------------------------------------------------------------
 # Scenarios
 # --------------------------------------------------------------------------
 
@@ -652,4 +796,78 @@ register_scenario(
         "max_retries": 2,
         "retry_delay": 1.0,
     },
+)
+
+# ---- Attack scenarios (fault injection, docs/RESILIENCE.md) ----
+
+register_scenario(
+    "jam-hubs",
+    "10k-node Barabási–Albert network with the 12 highest-betweenness "
+    "channels jammed in never-settling waves over the middle half of "
+    "the trace: measures success-under-attack and adversary-captured "
+    "escrow per scheme",
+    topology="ba-scale",
+    workload="mice-elephant",
+    workload_params={"mice_median": 20.0, "elephant_median": 1_500.0},
+    faults="jamming",
+    fault_params={"channels": 12, "fraction": 0.95},
+)
+
+register_scenario(
+    "hub-kill-xl",
+    "the 10k-node grown Lightning snapshot with its top-5 degree hubs "
+    "force-closed mid-run — permanent damage, so the resilience delta "
+    "isolates how much each scheme leaned on the hubs",
+    topology="lightning-xl",
+    workload="lightning-trace",
+    faults="hub-kill",
+    fault_params={"hubs": 5},
+)
+
+register_scenario(
+    "liquidity-drain-storm",
+    "10k-node Barabási–Albert network where colluding senders drain the "
+    "16 highest-capacity channels while hotspot traffic runs compressed "
+    "100x on the concurrent engine: unbalanced hot channels meet "
+    "in-flight contention",
+    topology="ba-scale",
+    workload="hotspot",
+    faults="liquidity-drain",
+    fault_params={"channels": 16, "fraction": 0.6},
+    engine="concurrent",
+    engine_params={
+        "load": 100.0,
+        "hop_latency": 0.3,
+        "timeout": 20.0,
+        "max_retries": 2,
+        "retry_delay": 1.0,
+    },
+)
+
+register_scenario(
+    "partition-heal-wave",
+    "10k-node Barabási–Albert network under hourly churn whose cut "
+    "around a 30% BFS region force-closes mid-run and reopens later: "
+    "the recovery-half-life benchmark for gossip-driven re-routing",
+    topology="ba-scale",
+    workload="mice-elephant",
+    workload_params={"mice_median": 20.0, "elephant_median": 1_500.0},
+    dynamics="churn-custom",
+    dynamics_params={
+        "opens_per_hour": 30.0,
+        "closes_per_hour": 30.0,
+        "capacity_median": 800.0,
+    },
+    faults="partition",
+)
+
+register_scenario(
+    "ripple-jammed",
+    "benchmark-scale Ripple network with its 8 highest-betweenness "
+    "channels jammed — the report-matrix resilience scenario (full "
+    "reports render the resilience tables from it)",
+    topology="ripple-synthetic",
+    workload="ripple-trace",
+    faults="jamming",
+    eval_matrix=EvalMatrix(report=True),
 )

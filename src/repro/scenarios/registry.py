@@ -9,7 +9,11 @@ ingredients:
   :class:`~repro.traces.workload.Workload` over the topology's nodes;
 * an optional **dynamics model** — builds a stream of
   :class:`~repro.network.dynamics.ChannelEvent` churn events that the
-  runner interleaves with the workload by timestamp.
+  runner interleaves with the workload by timestamp;
+* an optional **fault model** — builds a typed
+  :class:`~repro.sim.faults.FaultSpec` that the factory compiles against
+  the built graph into an adversarial event stream plus the attack
+  windows the resilience metrics need (see :mod:`repro.sim.faults`).
 
 Each ingredient is registered by name with a typed
 :class:`ParamSpec` list, so the CLI can list, describe, and override
@@ -161,13 +165,16 @@ class Registry:
         return len(self._entries)
 
 
-#: The three ingredient registries.  Builder signatures:
+#: The four ingredient registries.  Builder signatures:
 #: topology ``(rng, **params) -> ChannelGraph``;
 #: workload ``(rng, nodes, **params) -> Workload``;
-#: dynamics ``(rng, graph, duration_seconds, **params) -> list[ChannelEvent]``.
+#: dynamics ``(rng, graph, duration_seconds, **params) -> list[ChannelEvent]``;
+#: fault ``(**params) -> FaultSpec`` (pure — compiled against the built
+#: graph inside the scenario factory).
 TOPOLOGIES = Registry("topology")
 WORKLOADS = Registry("workload")
 DYNAMICS = Registry("dynamics")
+FAULTS = Registry("fault")
 
 
 def register_topology(
@@ -198,6 +205,21 @@ def register_dynamics(
 ) -> RegistryEntry:
     """Register a dynamics model: ``builder(rng, graph, duration_seconds, **params)``."""
     return DYNAMICS.register(name, builder, description, params)
+
+
+def register_fault(
+    name: str,
+    builder: Callable,
+    description: str,
+    params: Sequence[ParamSpec] = (),
+) -> RegistryEntry:
+    """Register a fault model: ``builder(**params) -> FaultSpec``.
+
+    The builder is pure spec construction (its ``__post_init__``
+    validates ranges eagerly); the scenario factory compiles the spec
+    against the built graph via :func:`repro.sim.faults.compile_faults`.
+    """
+    return FAULTS.register(name, builder, description, params)
 
 
 @dataclass(frozen=True)
@@ -244,6 +266,11 @@ class Scenario:
     The runner and CLI pick both up automatically for registered names
     and let callers override them (see
     :func:`repro.sim.runner.resolve_engine`).
+
+    ``faults`` names a registered fault model (:data:`FAULTS`) whose
+    compiled plan the factory attaches to every build — the scenario
+    then runs under adversarial load and its results carry the
+    resilience metric family (:mod:`repro.sim.faults`).
     """
 
     name: str
@@ -258,12 +285,16 @@ class Scenario:
     eval_matrix: EvalMatrix = field(default_factory=EvalMatrix)
     engine: str = "sequential"
     engine_params: Mapping[str, object] = field(default_factory=dict)
+    faults: str | None = None
+    fault_params: Mapping[str, object] = field(default_factory=dict)
 
     def ingredients(self) -> str:
-        """``topology x workload [+ dynamics] [@ engine]`` summary."""
+        """``topology x workload [+ dynamics] [! faults] [@ engine]`` summary."""
         parts = f"{self.topology} x {self.workload}"
         if self.dynamics:
             parts += f" + {self.dynamics}"
+        if self.faults:
+            parts += f" ! {self.faults}"
         if self.engine != "sequential":
             parts += f" @ {self.engine}"
         return parts
@@ -273,24 +304,33 @@ class Scenario:
         topology_overrides: Mapping[str, object] | None = None,
         workload_overrides: Mapping[str, object] | None = None,
         dynamics_overrides: Mapping[str, object] | None = None,
+        fault_overrides: Mapping[str, object] | None = None,
     ):
         """A seeded builder the runner consumes.
 
         Returns a callable ``(random.Random) -> (graph, workload)`` — or
         ``(graph, workload, events)`` when the scenario has a dynamics
-        model; :func:`repro.sim.runner.run_comparison` accepts both
-        shapes.  Overrides are validated against each ingredient's
+        model, or ``(graph, workload, events, fault_plan)`` when it has
+        a fault model (``events`` then may be empty);
+        :func:`repro.sim.runner.run_comparison` accepts every shape.
+        Overrides are validated against each ingredient's
         :class:`ParamSpec` list at call time, so a bad override fails
         before any run starts.
         """
         topology_entry = TOPOLOGIES.get(self.topology)
         workload_entry = WORKLOADS.get(self.workload)
         dynamics_entry = DYNAMICS.get(self.dynamics) if self.dynamics else None
+        fault_entry = FAULTS.get(self.faults) if self.faults else None
         if dynamics_entry is None and dynamics_overrides:
             raise ScenarioError(
                 f"scenario {self.name!r} has no dynamics ingredient; "
                 f"dynamics overrides {sorted(dynamics_overrides)} have "
                 "no effect"
+            )
+        if fault_entry is None and fault_overrides:
+            raise ScenarioError(
+                f"scenario {self.name!r} has no fault ingredient; "
+                f"fault overrides {sorted(fault_overrides)} have no effect"
             )
 
         topology_kwargs = topology_entry.bind(
@@ -306,19 +346,39 @@ class Scenario:
             if dynamics_entry
             else {}
         )
+        fault_spec = None
+        if fault_entry is not None:
+            bound = fault_entry.bind(
+                {**self.fault_params, **(fault_overrides or {})}
+            )
+            try:
+                fault_spec = fault_entry.builder(**bound)
+            except ValueError as exc:
+                raise ScenarioError(
+                    f"scenario {self.name!r} has bad fault parameters: {exc}"
+                ) from exc
 
         def build(rng: random.Random):
             graph = topology_entry.builder(rng, **topology_kwargs)
             workload = workload_entry.builder(rng, graph.nodes, **workload_kwargs)
-            if dynamics_entry is None:
+            if dynamics_entry is None and fault_spec is None:
                 return graph, workload
             horizon = (
                 workload[len(workload) - 1].time if len(workload) else 0.0
             )
-            events = dynamics_entry.builder(
-                rng, graph, horizon, **dynamics_kwargs
+            events = (
+                dynamics_entry.builder(rng, graph, horizon, **dynamics_kwargs)
+                if dynamics_entry is not None
+                else []
             )
-            return graph, workload, events
+            if fault_spec is None:
+                return graph, workload, events
+            # The fault plan compiles after graph/workload/churn so the
+            # extra rng draws cannot perturb a fault-free build.
+            from repro.sim.faults import compile_faults
+
+            plan = compile_faults(fault_spec, graph, rng, horizon)
+            return graph, workload, events, plan
 
         return build
 
@@ -341,12 +401,15 @@ def register_scenario(
     eval_matrix: EvalMatrix | None = None,
     engine: str = "sequential",
     engine_params: Mapping[str, object] | None = None,
+    faults: str | None = None,
+    fault_params: Mapping[str, object] | None = None,
 ) -> Scenario:
     """Compose registered ingredients into a named scenario.
 
-    All ingredient names, scenario-level parameter defaults, and engine
-    knobs are validated eagerly (a typo fails at registration, not
-    first run).  Returns the :class:`Scenario` for convenience.
+    All ingredient names, scenario-level parameter defaults, engine
+    knobs, and fault parameters are validated eagerly (a typo fails at
+    registration, not first run).  Returns the :class:`Scenario` for
+    convenience.
     """
     if name in SCENARIOS:
         raise ScenarioError(f"scenario {name!r} already registered")
@@ -356,6 +419,11 @@ def register_scenario(
         raise ScenarioError(
             f"scenario {name!r} sets dynamics_params "
             f"{sorted(dynamics_params)} but no dynamics ingredient"
+        )
+    if faults is None and fault_params:
+        raise ScenarioError(
+            f"scenario {name!r} sets fault_params "
+            f"{sorted(fault_params)} but no fault ingredient"
         )
     if eval_matrix is not None and eval_matrix.smoke and not eval_matrix.report:
         raise ScenarioError(
@@ -395,6 +463,8 @@ def register_scenario(
         eval_matrix=eval_matrix or EvalMatrix(),
         engine=engine,
         engine_params=dict(engine_params or {}),
+        faults=faults,
+        fault_params=dict(fault_params or {}),
     )
     # Eager validation: ingredient lookup + parameter binding both raise
     # ScenarioError on any mismatch.
@@ -402,6 +472,16 @@ def register_scenario(
     WORKLOADS.get(workload).bind(scenario.workload_params)
     if dynamics is not None:
         DYNAMICS.get(dynamics).bind(scenario.dynamics_params)
+    if faults is not None:
+        entry = FAULTS.get(faults)
+        bound = entry.bind(scenario.fault_params)
+        try:
+            # Constructing the spec runs its __post_init__ range checks.
+            entry.builder(**bound)
+        except ValueError as exc:
+            raise ScenarioError(
+                f"scenario {name!r} has bad fault_params: {exc}"
+            ) from exc
     SCENARIOS[name] = scenario
     return scenario
 

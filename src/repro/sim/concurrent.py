@@ -33,7 +33,18 @@ model):
    they are not retried.
 4. **retry** — a reservation that fails outright (no capacity) is
    retried ``retry_delay`` later, up to ``max_retries`` times; earlier
-   payments may have settled in between, freeing capacity.
+   payments may have settled in between, freeing capacity.  Opt-in
+   ``retry_backoff`` grows the wait geometrically per attempt and
+   ``retry_jitter`` adds deterministic seeded jitter; at their defaults
+   the wait is the fixed ``retry_delay`` of the original engine,
+   byte-identical.
+
+Adversarial faults (:mod:`repro.sim.faults`) ride the same event
+queue: a compiled :class:`~repro.sim.faults.FaultPlan` merges its
+JAM/UNJAM/DRAIN/force-CLOSE events into the churn stream, and an
+engine-side escrow registry releases the in-flight holds of any
+payment crossing a force-closed channel (the payment then fails at its
+settle time instead of stranding escrow — see ``docs/RESILIENCE.md``).
 
 Determinism: the engine is a pure function of ``(graph, workload,
 events, config, rng)``.  Events are ordered by ``(time, sequence)``
@@ -57,7 +68,12 @@ from dataclasses import dataclass, fields, replace
 
 from repro.errors import InsufficientBalanceError, NoChannelError, ProtocolError
 from repro.network.channel import NodeId
-from repro.network.dynamics import ChannelEvent, GossipSchedule
+from repro.network.dynamics import (
+    ChannelEvent,
+    GossipSchedule,
+    merge_event_streams,
+)
+from repro.sim.faults import FaultPlan, resilience_metrics
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView, PaymentSession
 from repro.protocol.events import EventQueue
@@ -80,6 +96,15 @@ class ConcurrencyConfig:
     payment's holds may stay in flight before they are released;
     ``max_retries`` bounds engine-level re-attempts of reservations that
     failed for lack of capacity.
+
+    The wait before attempt ``k`` (1-based retries) is
+    ``retry_delay * retry_backoff**(k-1)``, stretched by a further
+    uniform factor in ``[1, 1 + retry_jitter]`` drawn from a dedicated
+    seeded stream when ``retry_jitter > 0``.  At the defaults
+    (``retry_backoff=1.0``, ``retry_jitter=0.0``) the wait is exactly
+    the fixed ``retry_delay`` — byte-identical to the pre-backoff
+    engine — and the knobs are omitted from :meth:`to_params` so
+    existing store cells keep their digests.
     """
 
     hop_latency: float = 0.1
@@ -88,6 +113,8 @@ class ConcurrencyConfig:
     max_retries: int = 1
     retry_delay: float = 1.0
     gossip_period: float = 600.0
+    retry_backoff: float = 1.0
+    retry_jitter: float = 0.0
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on out-of-range knob values."""
@@ -108,6 +135,14 @@ class ConcurrencyConfig:
         if self.gossip_period <= 0:
             raise ValueError(
                 f"gossip_period must be positive, got {self.gossip_period}"
+            )
+        if self.retry_backoff < 1.0:
+            raise ValueError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError(
+                f"retry_jitter must be in [0, 1], got {self.retry_jitter}"
             )
 
     @classmethod
@@ -136,9 +171,20 @@ class ConcurrencyConfig:
         """Every knob as a plain dict — the store cell-key representation.
 
         Always fully resolved (defaults included), so an explicitly
-        passed default value and an omitted knob hash identically.
+        passed default value and an omitted knob hash identically.  The
+        one exception: the backoff knobs added after the store format
+        shipped (``retry_backoff``, ``retry_jitter``) are *omitted* at
+        their default values, so pre-backoff store cells keep their
+        digests and resume unchanged.
         """
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        params = {
+            spec.name: getattr(self, spec.name) for spec in fields(self)
+        }
+        if params["retry_backoff"] == 1.0:
+            del params["retry_backoff"]
+        if params["retry_jitter"] == 0.0:
+            del params["retry_jitter"]
+        return params
 
 
 class HoldLedger:
@@ -277,6 +323,73 @@ class _PendingPayment:
     payment_messages: int = 0
 
 
+@dataclass
+class _InFlight:
+    """One payment's escrow between reservation and settle/expire.
+
+    ``holds`` shrinks when a force-close releases the closed pair's
+    hops; ``disrupted`` marks the payment as doomed — its settle event
+    releases the surviving holds and records a failure instead of
+    settling a broken path.
+    """
+
+    pending: _PendingPayment
+    holds: list[HeldHop]
+    disrupted: bool = False
+
+
+class _EscrowRegistry:
+    """Engine-side index of in-flight escrow, keyed by channel pair.
+
+    Registered as the :class:`~repro.network.dynamics.GossipSchedule`'s
+    ``hold_owner``: when a fault force-closes a channel mid-flight, the
+    schedule calls :meth:`force_close` and the registry releases every
+    affected payment's holds on that pair (in deterministic txid order)
+    and marks the payments disrupted, so escrow is never stranded on a
+    removed channel and conservation invariants hold.
+    """
+
+    def __init__(self, graph: ChannelGraph) -> None:
+        self._graph = graph
+        self._flights: dict[int, _InFlight] = {}
+        self._by_pair: dict[frozenset, set[int]] = {}
+
+    def register(self, flight: _InFlight) -> None:
+        """Track a freshly reserved payment's holds."""
+        txid = flight.pending.transaction.txid
+        self._flights[txid] = flight
+        for u, v, _ in flight.holds:
+            self._by_pair.setdefault(frozenset((u, v)), set()).add(txid)
+
+    def unregister(self, flight: _InFlight) -> None:
+        """Drop a settled/expired payment from the index."""
+        txid = flight.pending.transaction.txid
+        self._flights.pop(txid, None)
+        for u, v, _ in flight.holds:
+            pair = frozenset((u, v))
+            members = self._by_pair.get(pair)
+            if members is not None:
+                members.discard(txid)
+                if not members:
+                    del self._by_pair[pair]
+
+    def force_close(self, a: NodeId, b: NodeId) -> None:
+        """Release every in-flight hold on ``(a, b)``; doom those payments."""
+        pair = frozenset((a, b))
+        for txid in sorted(self._by_pair.pop(pair, ())):
+            flight = self._flights.get(txid)
+            if flight is None:
+                continue
+            kept: list[HeldHop] = []
+            for u, v, amount in flight.holds:
+                if frozenset((u, v)) == pair:
+                    self._graph.release_hold(u, v, amount)
+                else:
+                    kept.append((u, v, amount))
+            flight.holds = kept
+            flight.disrupted = True
+
+
 def _max_hops(transfers: Sequence[tuple[tuple[NodeId, ...], float]]) -> int:
     """The longest partial-payment path, in hops (0 for no transfers)."""
     return max((len(path) - 1 for path, _ in transfers), default=0)
@@ -291,6 +404,7 @@ def run_concurrent_simulation(
     events: Sequence[ChannelEvent] | None = None,
     reference_mice_fraction: float = 0.9,
     copy_graph: bool = True,
+    faults: FaultPlan | None = None,
 ) -> SimulationResult:
     """Route ``workload`` with overlapping in-flight payments; returns metrics.
 
@@ -305,7 +419,14 @@ def run_concurrent_simulation(
 
     The returned result has ``engine="concurrent"``, which adds the
     latency/retry/timeout metrics to its stored record (see
-    :data:`repro.sim.metrics.CONCURRENT_METRIC_FIELDS`).
+    :data:`repro.sim.metrics.CONCURRENT_METRIC_FIELDS`).  When a
+    compiled ``faults`` plan is passed, its adversarial events are
+    merged into the (compressed) churn stream, force-closed channels
+    release their in-flight escrow through the engine's registry, and
+    ``result.resilience`` carries
+    :data:`repro.sim.metrics.RESILIENCE_METRIC_FIELDS` — with the
+    adversary-escrow integral converted back to uncompressed trace
+    seconds, so the metric is comparable across ``load`` settings.
     """
     config = config if config is not None else ConcurrencyConfig()
     config.validate()
@@ -314,16 +435,30 @@ def run_concurrent_simulation(
     queue = EventQueue()
     ledger = HoldLedger()
     view = ConcurrentNetworkView(working_graph, ledger)
+    # A dedicated jitter stream, split off *before* router construction
+    # so jitter-free runs never touch run_rng and stay byte-identical.
+    jitter_rng = (
+        random.Random(run_rng.getrandbits(64))
+        if config.retry_jitter > 0
+        else None
+    )
     router = router_factory(view, workload, run_rng)
     threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+    registry = _EscrowRegistry(working_graph)
 
-    scaled_events: list[ChannelEvent] = [
+    scaled_churn: list[ChannelEvent] = [
         replace(event, time=event.time / config.load) for event in (events or ())
     ]
+    scaled_faults: list[ChannelEvent] = [
+        replace(event, time=event.time / config.load)
+        for event in (faults.events if faults is not None else ())
+    ]
+    scaled_events = merge_event_streams(scaled_churn, scaled_faults)
     schedule = GossipSchedule(
         graph=working_graph,
         events=scaled_events,
         gossip_period=config.gossip_period / config.load,
+        hold_owner=registry,
     )
     schedule.register(router)
 
@@ -351,22 +486,37 @@ def run_concurrent_simulation(
             timed_out=timed_out,
         )
 
-    def settle(pending, holds, outcome) -> None:
-        for u, v, amount in holds:
+    def settle(flight: _InFlight, outcome) -> None:
+        registry.unregister(flight)
+        if flight.disrupted:
+            # A channel on the path was force-closed mid-flight: the
+            # surviving escrow unwinds and the payment fails cleanly.
+            for u, v, amount in reversed(flight.holds):
+                working_graph.release_hold(u, v, amount)
+            record(
+                flight.pending,
+                success=False,
+                fee=0.0,
+                paths_used=len(outcome.transfers),
+                timed_out=False,
+            )
+            return
+        for u, v, amount in flight.holds:
             working_graph.settle_hold(u, v, amount)
         record(
-            pending,
+            flight.pending,
             success=True,
             fee=outcome.fee,
             paths_used=len(outcome.transfers),
             timed_out=False,
         )
 
-    def expire(pending, holds, outcome) -> None:
-        for u, v, amount in reversed(holds):
+    def expire(flight: _InFlight, outcome) -> None:
+        registry.unregister(flight)
+        for u, v, amount in reversed(flight.holds):
             working_graph.release_hold(u, v, amount)
         record(
-            pending,
+            flight.pending,
             success=False,
             fee=0.0,
             paths_used=len(outcome.transfers),
@@ -388,6 +538,8 @@ def run_concurrent_simulation(
             view.counters.payment_messages - payments_before
         )
         if outcome.success:
+            flight = _InFlight(pending=pending, holds=holds)
+            registry.register(flight)
             # The lock pass reaches the receiver after hop_latency per
             # hop of the longest path; the settle pass walks back.
             settle_delay = 2.0 * config.hop_latency * _max_hops(
@@ -401,18 +553,23 @@ def run_concurrent_simulation(
             )
             if settle_delay > config.timeout:
                 queue.schedule(
-                    config.timeout, lambda: expire(pending, holds, annotated)
+                    config.timeout, lambda: expire(flight, annotated)
                 )
             else:
                 queue.schedule(
-                    settle_delay, lambda: settle(pending, holds, annotated)
+                    settle_delay, lambda: settle(flight, annotated)
                 )
             return
         # Defensive: a failed route must not leave escrow behind.
         for u, v, amount in reversed(holds):
             working_graph.release_hold(u, v, amount)
         if pending.attempts <= config.max_retries:
-            queue.schedule(config.retry_delay, lambda: attempt(pending))
+            delay = config.retry_delay
+            if config.retry_backoff != 1.0:
+                delay *= config.retry_backoff ** (pending.attempts - 1)
+            if jitter_rng is not None:
+                delay *= 1.0 + config.retry_jitter * jitter_rng.random()
+            queue.schedule(delay, lambda: attempt(pending))
             return
         record(
             pending,
@@ -441,4 +598,16 @@ def run_concurrent_simulation(
     result = SimulationResult(scheme=router.name, engine="concurrent")
     for transaction in workload:
         result.records.append(records[transaction.txid])
+    if faults is not None:
+        schedule.finalize(queue.now)
+        horizon = workload[len(workload) - 1].time if len(workload) else 0.0
+        result.resilience = resilience_metrics(
+            [transaction.time for transaction in workload],
+            result.records,
+            faults,
+            adversary_escrow_seconds=(
+                schedule.adversary_escrow_seconds * config.load
+            ),
+            horizon=horizon,
+        )
     return result

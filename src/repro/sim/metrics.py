@@ -48,6 +48,18 @@ CONCURRENT_METRIC_FIELDS: tuple[str, ...] = (
     "timeout_failures",
 )
 
+#: Resilience fields recorded only when a fault plan was injected
+#: (:mod:`repro.sim.faults`).  Appended after the engine's field set, so
+#: fault-free records — sequential and concurrent — keep their exact
+#: pre-faults shape and store digests.
+RESILIENCE_METRIC_FIELDS: tuple[str, ...] = (
+    "attack_success_ratio",
+    "control_success_ratio",
+    "resilience_delta",
+    "recovery_half_life",
+    "adversary_escrow",
+)
+
 
 @dataclass(frozen=True)
 class TransactionRecord:
@@ -80,12 +92,16 @@ class SimulationResult:
 
     ``engine`` names the engine that produced the run (``"sequential"``
     or ``"concurrent"``); it selects which field set :meth:`to_record`
-    persists.
+    persists.  ``resilience`` is populated (with exactly
+    :data:`RESILIENCE_METRIC_FIELDS`) only when the run injected a
+    fault plan; it stays empty — and invisible to :meth:`to_record` —
+    otherwise.
     """
 
     scheme: str
     records: list[TransactionRecord] = field(default_factory=list)
     engine: str = "sequential"
+    resilience: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------- scalars
 
@@ -167,6 +183,33 @@ class SimulationResult:
         """Payments that failed because their holds hit the timeout."""
         return sum(1 for r in self.records if r.timed_out)
 
+    # ------------------------------------------------------ resilience
+
+    @property
+    def attack_success_ratio(self) -> float:
+        """Success rate inside attack windows (0.0 without faults)."""
+        return float(self.resilience.get("attack_success_ratio", 0.0))
+
+    @property
+    def control_success_ratio(self) -> float:
+        """Success rate outside attack windows (0.0 without faults)."""
+        return float(self.resilience.get("control_success_ratio", 0.0))
+
+    @property
+    def resilience_delta(self) -> float:
+        """Control minus attack success ratio (0.0 without faults)."""
+        return float(self.resilience.get("resilience_delta", 0.0))
+
+    @property
+    def recovery_half_life(self) -> float:
+        """Seconds after heal until the success rate recovers."""
+        return float(self.resilience.get("recovery_half_life", 0.0))
+
+    @property
+    def adversary_escrow(self) -> float:
+        """Fund-seconds of capacity held by adversary jams."""
+        return float(self.resilience.get("adversary_escrow", 0.0))
+
     # ------------------------------------------------------ class breakdown
 
     def _class_records(self, elephant: bool) -> list[TransactionRecord]:
@@ -223,10 +266,15 @@ class SimulationResult:
         sweep resumes (see :class:`StoredResult`).  Concurrent-engine
         runs additionally persist :data:`CONCURRENT_METRIC_FIELDS`;
         sequential records are unchanged from the pre-concurrent format.
+        Runs with an injected fault plan append
+        :data:`RESILIENCE_METRIC_FIELDS`; fault-free records are
+        byte-identical to the pre-faults format.
         """
         names = METRIC_FIELDS
         if self.engine == "concurrent":
             names = METRIC_FIELDS + CONCURRENT_METRIC_FIELDS
+        if self.resilience:
+            names = names + RESILIENCE_METRIC_FIELDS
         return {name: float(getattr(self, name)) for name in names}
 
 
@@ -259,6 +307,11 @@ class StoredResult:
     latency_mean: float = 0.0
     retries_total: float = 0.0
     timeout_failures: float = 0.0
+    attack_success_ratio: float = 0.0
+    control_success_ratio: float = 0.0
+    resilience_delta: float = 0.0
+    recovery_half_life: float = 0.0
+    adversary_escrow: float = 0.0
 
     @classmethod
     def from_record(
@@ -266,9 +319,9 @@ class StoredResult:
     ) -> "StoredResult":
         """Rehydrate from a store record's ``metrics`` mapping.
 
-        The concurrency fields default to zero when absent, so records
-        written by sequential runs (which do not persist them) rehydrate
-        unchanged.
+        The concurrency and resilience fields default to zero when
+        absent, so records written by sequential or fault-free runs
+        (which do not persist them) rehydrate unchanged.
         """
         return cls(
             scheme=scheme,
@@ -276,6 +329,7 @@ class StoredResult:
             **{
                 name: float(metrics.get(name, 0.0))
                 for name in CONCURRENT_METRIC_FIELDS
+                + RESILIENCE_METRIC_FIELDS
             },
         )
 
@@ -304,6 +358,11 @@ class AveragedMetrics:
     latency_mean: float = 0.0
     retries_total: float = 0.0
     timeout_failures: float = 0.0
+    attack_success_ratio: float = 0.0
+    control_success_ratio: float = 0.0
+    resilience_delta: float = 0.0
+    recovery_half_life: float = 0.0
+    adversary_escrow: float = 0.0
 
     @classmethod
     def of(cls, results: Sequence[SimulationResult]) -> "AveragedMetrics":
@@ -341,4 +400,13 @@ class AveragedMetrics:
             latency_mean=mean(r.latency_mean for r in results),
             retries_total=mean(r.retries_total for r in results),
             timeout_failures=mean(r.timeout_failures for r in results),
+            attack_success_ratio=mean(
+                r.attack_success_ratio for r in results
+            ),
+            control_success_ratio=mean(
+                r.control_success_ratio for r in results
+            ),
+            resilience_delta=mean(r.resilience_delta for r in results),
+            recovery_half_life=mean(r.recovery_half_life for r in results),
+            adversary_escrow=mean(r.adversary_escrow for r in results),
         )

@@ -57,10 +57,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (eval -> sim)
 #: What one seeded build yields: ``(graph, workload)``, or
 #: ``(graph, workload, events)`` when the scenario includes topology
 #: dynamics (the runner then interleaves churn events by timestamp via
-#: :func:`repro.network.dynamics.run_dynamic_simulation`).
+#: :func:`repro.network.dynamics.run_dynamic_simulation`), or
+#: ``(graph, workload, events, fault_plan)`` when it also carries a
+#: compiled :class:`repro.sim.faults.FaultPlan` — the runner then
+#: injects the adversarial events and attaches resilience metrics.
 ScenarioBuild = (
     tuple[ChannelGraph, Workload]
     | tuple[ChannelGraph, Workload, list[ChannelEvent]]
+    | tuple[ChannelGraph, Workload, list[ChannelEvent], object]
 )
 
 #: Builds the inputs for one seeded run.
@@ -190,17 +194,23 @@ def _single_run(
 ) -> dict[str, SimulationResult]:
     """One seeded replication: every scheme on the same graph/workload.
 
-    Scenario factories may return ``(graph, workload)`` or
-    ``(graph, workload, events)``; with events present each scheme runs
-    through the dynamic simulator (churn interleaved by timestamp, same
-    event stream for every scheme).  ``engine="concurrent"`` routes
-    every scheme through :func:`repro.sim.concurrent.run_concurrent_simulation`
-    instead (which handles events natively); seeds are derived the same
-    way for both engines.
+    Scenario factories may return ``(graph, workload)``,
+    ``(graph, workload, events)``, or ``(graph, workload, events,
+    fault_plan)``; with events present each scheme runs through the
+    dynamic simulator (churn interleaved by timestamp, same event
+    stream for every scheme), and a fault plan additionally injects its
+    adversarial events and attaches resilience metrics.
+    ``engine="concurrent"`` routes every scheme through
+    :func:`repro.sim.concurrent.run_concurrent_simulation` instead
+    (which handles events and faults natively); seeds are derived the
+    same way for both engines.
     """
     scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
     built = scenario(scenario_rng)
-    if len(built) == 3:
+    faults = None
+    if len(built) == 4:
+        graph, workload, events, faults = built
+    elif len(built) == 3:
         graph, workload, events = built
     else:
         graph, workload = built
@@ -225,15 +235,17 @@ def _single_run(
                 config=config,
                 events=events,
                 reference_mice_fraction=reference_mice_fraction,
+                faults=faults,
             )
-        elif events:
+        elif events or faults is not None:
             results[name] = run_dynamic_simulation(
                 graph,
                 factory,
                 workload,
-                events,
+                events or [],
                 rng=router_rng,
                 reference_mice_fraction=reference_mice_fraction,
+                faults=faults,
             )
         else:
             results[name] = run_simulation(

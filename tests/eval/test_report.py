@@ -55,12 +55,26 @@ class TestMatrix:
 
 class TestGeneratedArtifacts:
     def test_all_tables_written(self, smoke_report):
-        assert set(smoke_report.tables) == {t.slug for t in TABLES}
+        # Optional-metric tables appear only when some record carries
+        # the metric: the smoke matrix has a concurrent cell (latency
+        # and timeout tables) but no fault scenario, so the resilience
+        # tables are skipped and the goldens stay fault-free.
+        expected = {
+            t.slug
+            for t in TABLES
+            if not t.optional_metric
+            or t.slug in ("latency_p95", "timeout_failures")
+        }
+        assert set(smoke_report.tables) == expected
         for path in smoke_report.tables.values():
             assert path.exists()
 
     def test_figures_written_for_chart_tables(self, smoke_report):
-        chart_slugs = {t.slug for t in TABLES if t.chart}
+        chart_slugs = {
+            t.slug
+            for t in TABLES
+            if t.chart and t.slug in smoke_report.tables
+        }
         assert set(smoke_report.figures) == chart_slugs
         for path in smoke_report.figures.values():
             assert path.suffix in (".png", ".svg")
@@ -113,6 +127,25 @@ class TestDeterminismAndResume:
         ).read_bytes() == before_records
         for slug, path in again.tables.items():
             assert path.read_bytes() == before_tables[slug], slug
+
+
+class TestFaultReport:
+    def test_fault_scenario_populates_resilience_tables(self, tmp_path):
+        report = generate_report(
+            tmp_path / "fault",
+            scenario_names=["ripple-jammed"],
+            runs=1,
+            transactions=30,
+        )
+        for slug in (
+            "attack_success_ratio",
+            "resilience_delta",
+            "recovery_half_life",
+            "adversary_escrow",
+        ):
+            assert slug in report.tables, slug
+            assert "ripple-jammed" in report.tables[slug].read_text()
+        assert "attack_success_ratio" in report.figures
 
 
 class TestGoldenChecker:

@@ -155,6 +155,102 @@ class TestRunScenario:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFaultFlags:
+    def test_attack_scenario_prints_resilience_columns(self, capsys):
+        code = main(
+            [
+                "run",
+                "ripple-jammed",
+                "--runs",
+                "1",
+                "--transactions",
+                "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "! jamming" in out
+        assert "attacked sr (%)" in out and "adv. escrow" in out
+
+    def test_fault_attaches_to_a_plain_scenario(self, capsys):
+        code = main(
+            [
+                "run",
+                "ripple-default",
+                "--fault",
+                "hub-kill",
+                "--fault-param",
+                "hubs=2",
+                "--runs",
+                "1",
+                "--transactions",
+                "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "! hub-kill" in out
+        assert "attacked sr (%)" in out
+
+    def test_unknown_fault_fails_cleanly(self, capsys):
+        code = main(["run", "ripple-default", "--fault", "emp-blast"])
+        assert code == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_fault_param_without_fault_rejected(self, capsys):
+        code = main(
+            ["run", "ripple-default", "--fault-param", "channels=4"]
+        )
+        assert code == 2
+        assert "no fault ingredient" in capsys.readouterr().err
+
+    def test_bad_fault_param_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "run",
+                "ripple-jammed",
+                "--fault-param",
+                "fraction=1.5",
+            ]
+        )
+        assert code == 2
+        assert "bad fault parameters" in capsys.readouterr().err
+
+    def test_verbose_listing_shows_fault_params(self, capsys):
+        assert main(["list-scenarios", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "fault = jamming" in out
+        assert "--fault-param channels=" in out
+
+    def test_fault_axis_sweep_validates_values_eagerly(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "ripple-jammed",
+                "--axis",
+                "fault.fraction",
+                "--values",
+                "0.5,2.0",
+            ]
+        )
+        assert code == 2
+        assert "bad fault axis value" in capsys.readouterr().err
+
+    def test_fault_axis_needs_a_fault_ingredient(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "ripple-default",
+                "--axis",
+                "fault.channels",
+                "--values",
+                "2,4",
+            ]
+        )
+        assert code == 2
+        assert "needs a fault ingredient" in capsys.readouterr().err
+
+
 class TestSeedFlag:
     def test_global_seed_survives_subcommand_parse(self):
         args = build_parser().parse_args(["--seed", "9", "run", "x"])

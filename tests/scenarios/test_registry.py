@@ -8,6 +8,7 @@ import pytest
 import repro.scenarios as scenarios
 from repro.scenarios.registry import (
     DYNAMICS,
+    FAULTS,
     ParamSpec,
     Registry,
     ScenarioError,
@@ -180,6 +181,80 @@ class TestScenarioEngine:
             assert "@ concurrent" in scenario.ingredients()
 
 
+class TestFaultIngredients:
+    def test_fault_params_without_fault_rejected(self):
+        with pytest.raises(ScenarioError, match="no fault ingredient"):
+            scenarios.register_scenario(
+                "tmp-dangling-fault-params",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                fault_params={"channels": 4},
+            )
+        assert "tmp-dangling-fault-params" not in scenarios.SCENARIOS
+
+    def test_bad_fault_params_rejected_eagerly(self):
+        with pytest.raises(ScenarioError, match="bad fault_params"):
+            scenarios.register_scenario(
+                "tmp-bad-fault-params",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                faults="jamming",
+                fault_params={"fraction": 1.5},
+            )
+        assert "tmp-bad-fault-params" not in scenarios.SCENARIOS
+
+    def test_unknown_fault_name_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fault"):
+            scenarios.register_scenario(
+                "tmp-unknown-fault",
+                "broken",
+                topology="ripple-synthetic",
+                workload="ripple-trace",
+                faults="emp-blast",
+            )
+        assert "tmp-unknown-fault" not in scenarios.SCENARIOS
+
+    def test_fault_overrides_need_a_fault_ingredient(self):
+        scenario = scenarios.get_scenario("ripple-default")
+        with pytest.raises(ScenarioError, match="no fault ingredient"):
+            scenario.factory(fault_overrides={"channels": 4})
+
+    def test_catalog_registers_attack_scenarios(self):
+        # Acceptance: 4-6 attack scenarios covering every fault model.
+        attacks = [
+            s for s in scenarios.iter_scenarios() if s.faults is not None
+        ]
+        assert 4 <= len(attacks) <= 6
+        assert {s.faults for s in attacks} == set(FAULTS.names())
+        for scenario in attacks:
+            assert f"! {scenario.faults}" in scenario.ingredients()
+
+    def test_attack_scenario_builds_a_fault_plan(self):
+        from repro.sim.faults import FaultPlan
+
+        scenario = scenarios.get_scenario("jam-hubs")
+        factory = scenario.factory(
+            topology_overrides={"nodes": 150},
+            workload_overrides={"transactions": 5},
+        )
+        built = factory(random.Random(7))
+        assert len(built) == 4
+        graph, workload, events, plan = built
+        assert isinstance(plan, FaultPlan)
+        assert isinstance(events, list)
+        assert plan.events
+
+    def test_fault_free_build_shape_is_unchanged(self):
+        # The fault layer must not grow the build tuple of fault-free
+        # scenarios (their goldens and store digests depend on it).
+        built = scenarios.get_scenario("ripple-default").factory(
+            workload_overrides={"transactions": 5}
+        )(random.Random(7))
+        assert len(built) == 2
+
+
 class TestCatalogRoundTrip:
     """Every listed name must resolve and build a runnable scenario."""
 
@@ -279,7 +354,7 @@ class TestDocstrings:
                 assert obj.__doc__, f"{module.__name__}.{name} has no docstring"
 
     def test_every_registered_builder_documented(self):
-        for registry in (TOPOLOGIES, WORKLOADS, DYNAMICS):
+        for registry in (TOPOLOGIES, WORKLOADS, DYNAMICS, FAULTS):
             for name in registry.names():
                 entry = registry.get(name)
                 assert entry.builder.__doc__, (
