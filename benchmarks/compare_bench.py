@@ -50,9 +50,21 @@ def _direction(metric: str) -> str:
     return ""
 
 
+def _single_core(snapshot: dict) -> bool:
+    """True when the snapshot was recorded on a 1-core machine."""
+    runner = snapshot.get("parallel_runner", {})
+    machine = snapshot.get("machine", {})
+    cores = runner.get("cpu_count", machine.get("cpu_count"))
+    return cores == 1
+
+
 def compare(old: dict, new: dict, tolerance: float) -> tuple[list[str], bool]:
     flat_old = _flatten("", old)
     flat_new = _flatten("", new)
+    # A fork pool cannot beat serial on one core, so workers timings from
+    # a 1-core recording carry no signal: comparing them (in either
+    # direction) would gate on scheduler noise, not a real regression.
+    skip_workers_gate = _single_core(old) or _single_core(new)
     lines = []
     regressed = False
     header = f"{'metric':44s} {'old':>12s} {'new':>12s} {'change':>10s}"
@@ -61,6 +73,12 @@ def compare(old: dict, new: dict, tolerance: float) -> tuple[list[str], bool]:
     for metric in sorted(set(flat_old) & set(flat_new)):
         direction = _direction(metric)
         if not direction:
+            continue
+        if metric.startswith("parallel_runner.") and skip_workers_gate:
+            lines.append(
+                f"{metric:44s} {flat_old[metric]:12.3f} "
+                f"{flat_new[metric]:12.3f}   (skipped: 1-core)"
+            )
             continue
         before = flat_old[metric]
         after = flat_new[metric]

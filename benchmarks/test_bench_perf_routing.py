@@ -27,6 +27,7 @@ from collections import deque
 from _common import save_result
 
 from repro.core.routing_table import RoutingTable
+from repro.network.compact import CompactTopology, numpy_available
 from repro.network.paths import bfs_shortest_path, yen_k_shortest_paths
 from repro.network.topology import (
     barabasi_albert_edges,
@@ -46,6 +47,11 @@ BFS_PAIRS = 100 if SMOKE else 400
 YEN_PAIRS = 15 if SMOKE else 60
 YEN_K = 4
 TABLE_RECEIVERS = 30 if SMOKE else 120
+#: The vectorized sweeps amortize ndarray call overhead over frontier
+#: width, so they are measured on a larger topology than the single-pair
+#: benchmarks: ~1x at n=1000 but 1.4-1.8x at n=5000 on one core.
+SWEEP_NODES = 400 if SMOKE else 5_000
+SWEEP_SOURCES = 10 if SMOKE else 40
 PARALLEL_RUNS = 5
 PARALLEL_WORKERS = 4
 
@@ -235,6 +241,83 @@ def test_bench_perf_routing():
         assert serial_result[name] == parallel_result[name]
     transactions = PARALLEL_RUNS * len(factories) * 120
 
+    # Kernel backends: the vectorized numpy full-sweep kernels against the
+    # pure-python reference, on identical snapshots of the same adjacency.
+    # Single-pair searches deliberately delegate to the serial kernels
+    # under both backends (vectorizing them measured 10-20x slower), so
+    # only the sweeps are timed; the identity asserts pin the dict
+    # *insertion order* too, which is the BFS discovery order.  Runs
+    # last: its larger graph would otherwise skew the allocator state
+    # the end-to-end timings above are recorded under.
+    backend_report: dict[str, object] = {"single_pair": "delegates-to-serial"}
+    if numpy_available():
+        sweep_rng = random.Random(20_260_808)
+        sweep_edges = barabasi_albert_edges(SWEEP_NODES, BA_ATTACH, sweep_rng)
+        sweep_graph = build_channel_graph(
+            sweep_edges, uniform_sampler(100.0, 200.0), sweep_rng
+        )
+        sweep_adjacency = sweep_graph.adjacency()
+        sweep_sources = [
+            sweep_rng.randrange(SWEEP_NODES) for _ in range(SWEEP_SOURCES)
+        ]
+        py_snap = CompactTopology.from_adjacency(
+            sweep_adjacency, backend="python"
+        )
+        np_snap = CompactTopology.from_adjacency(
+            sweep_adjacency, backend="numpy"
+        )
+        for snap in (py_snap, np_snap):  # warm lazy mirrors + scratch
+            snap.distances_idx(sweep_sources[0])
+            snap.tree_parents_idx(sweep_sources[0])
+
+        def _best_of(fn, repeats=3):
+            # Sweep timings are ~tens of ms, small enough for scheduler
+            # noise on a busy core to flip the gate; min-of-3 is the
+            # standard microbenchmark noise floor.
+            value, best_ms = _timed(fn)
+            for _ in range(repeats - 1):
+                _, ms = _timed(fn)
+                best_ms = min(best_ms, ms)
+            return value, best_ms
+
+        py_dists, py_dist_ms = _best_of(
+            lambda: [py_snap.distances_idx(s) for s in sweep_sources]
+        )
+        np_dists, np_dist_ms = _best_of(
+            lambda: [np_snap.distances_idx(s) for s in sweep_sources]
+        )
+        for d_py, d_np in zip(py_dists, np_dists):
+            assert list(d_py.items()) == list(d_np.items())
+        py_trees, py_tree_ms = _best_of(
+            lambda: [py_snap.tree_parents_idx(s) for s in sweep_sources]
+        )
+        np_trees, np_tree_ms = _best_of(
+            lambda: [np_snap.tree_parents_idx(s) for s in sweep_sources]
+        )
+        for t_py, t_np in zip(py_trees, np_trees):
+            assert list(t_py.items()) == list(t_np.items())
+        dist_speedup = py_dist_ms / np_dist_ms if np_dist_ms else float("inf")
+        tree_speedup = py_tree_ms / np_tree_ms if np_tree_ms else float("inf")
+        backend_report.update(
+            {
+                "sweep_nodes": SWEEP_NODES,
+                "sweep_sources": SWEEP_SOURCES,
+                "distances": {
+                    "python_ms": round(py_dist_ms, 3),
+                    "numpy_ms": round(np_dist_ms, 3),
+                    "speedup": round(dist_speedup, 2),
+                },
+                "tree_parents": {
+                    "python_ms": round(py_tree_ms, 3),
+                    "numpy_ms": round(np_tree_ms, 3),
+                    "speedup": round(tree_speedup, 2),
+                },
+            }
+        )
+    else:
+        backend_report["numpy"] = "unavailable"
+        dist_speedup = tree_speedup = None
+
     bfs_speedup = legacy_bfs_ms / fast_bfs_ms if fast_bfs_ms else float("inf")
     yen_speedup = legacy_yen_ms / fast_yen_ms if fast_yen_ms else float("inf")
     combined_speedup = (legacy_bfs_ms + legacy_yen_ms) / (
@@ -285,8 +368,10 @@ def test_bench_perf_routing():
                 transactions / (serial_ms / 1_000.0), 1
             ),
         },
+        "kernel_backend": backend_report,
         "parallel_runner": {
             "workers": PARALLEL_WORKERS,
+            "cpu_count": os.cpu_count(),
             "serial_ms": round(serial_ms, 3),
             "parallel_ms": round(parallel_ms, 3),
             "speedup": round(workers_speedup, 2),
@@ -322,6 +407,13 @@ def test_bench_perf_routing():
             f"  ({table_speedup:.1f}x)",
             f"end-to-end: {transactions} txns in {serial_ms:.0f} ms "
             f"({transactions / (serial_ms / 1000.0):.0f} txn/s)",
+            (
+                f"kernel sweeps (n={SWEEP_NODES}, {SWEEP_SOURCES} sources): "
+                f"distances {dist_speedup:.2f}x  tree-parents "
+                f"{tree_speedup:.2f}x (numpy vs python)"
+                if dist_speedup is not None
+                else "kernel sweeps: numpy unavailable (skipped)"
+            ),
             f"parallel runner (workers={PARALLEL_WORKERS}, "
             f"cpu_count={os.cpu_count()}): serial {serial_ms:.0f} ms  "
             f"parallel {parallel_ms:.0f} ms  ({workers_speedup:.2f}x)",
@@ -336,3 +428,15 @@ def test_bench_perf_routing():
     assert yen_speedup >= 2.0, report["yen"]
     assert combined_speedup >= 3.0, report
     assert table_speedup >= 2.0, report["routing_table_build"]
+    # Vectorized-sweep contract: measured 1.76x (distances) / 1.38x
+    # (tree-parents) at n=5000 on one core, growing with n.  Only gated
+    # at full scale — smoke graphs are too small to clear the ndarray
+    # call overhead reliably.
+    if dist_speedup is not None and not SMOKE:
+        assert dist_speedup >= 1.3, report["kernel_backend"]
+        assert tree_speedup >= 1.1, report["kernel_backend"]
+    # Fork-pool contract: real parallel speedup is only physically
+    # possible with >1 core, so the gate is skipped (never faked) on
+    # 1-core machines — compare_bench.py mirrors this for snapshots.
+    if (os.cpu_count() or 1) > 1 and not SMOKE:
+        assert workers_speedup > 1.0, report["parallel_runner"]

@@ -61,3 +61,12 @@ class ProtocolError(ReproError):
 
 class TopologyError(ReproError):
     """A topology generator received invalid parameters."""
+
+
+class BackendError(ReproError):
+    """A kernel backend is unknown or its dependency is unavailable.
+
+    Raised instead of ``ImportError`` when ``backend="numpy"`` is
+    requested without numpy installed, so callers get one catchable
+    library error with an actionable message (``pip install .[numpy]``).
+    """

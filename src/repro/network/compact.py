@@ -48,11 +48,103 @@ escrow.  The full delta lifecycle is documented in
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping, Sequence
 
+from repro.errors import BackendError
 from repro.network.channel import NodeId
 
-__all__ = ["CompactTopology"]
+__all__ = [
+    "BACKENDS",
+    "CompactTopology",
+    "get_default_backend",
+    "numpy_available",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+# --------------------------------------------------------------- backends
+#
+# Kernel backend selection.  ``"python"`` is the default and the
+# golden-pinned reference: plain list storage, serial loops.  ``"numpy"``
+# mirrors the CSR arrays into int64 ndarrays and vectorizes the
+# *full-sweep* kernels (``distances_idx``, ``tree_parents_idx`` — the
+# routing-table and landmark/embedding hot paths) one frontier at a time.
+# Single-pair searches (plain/banned/residual BFS — Yen's spur loop,
+# Algorithm 1) stay on the serial kernels under both backends: measured
+# on BA-1000..BA-50k, the bidirectional serial search visits so small a
+# graph fraction that per-level ndarray call overhead loses by 10-20x,
+# while the full sweeps gain 1.7x (1k nodes) to 4x (10k).  Both backends
+# are bit-identical — same outputs, same dict iteration order — which
+# ``tests/property/test_backend_equivalence.py`` fuzzes.
+
+#: Recognized kernel backends, in preference order for documentation.
+BACKENDS: tuple[str, ...] = ("python", "numpy")
+
+#: ``False`` = not probed yet; ``None`` = probed, numpy missing;
+#: otherwise the imported module.  Tests monkeypatch this to ``None``
+#: to simulate an environment without the optional extra.
+_numpy_module: object | None | bool = False
+
+#: Process-wide default backend for newly built snapshots.  Seeded from
+#: ``REPRO_BACKEND`` (validated lazily, so merely importing this module
+#: never raises) and settable via :func:`set_default_backend` — the CLI
+#: ``--backend`` flag routes through that.  Fork workers inherit it.
+_default_backend: str = os.environ.get("REPRO_BACKEND", "python")
+
+
+def _numpy():
+    """The numpy module, or ``None`` when the optional extra is missing."""
+    global _numpy_module
+    if _numpy_module is False:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy present in CI
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy extra is importable."""
+    return _numpy() is not None
+
+
+def require_numpy():
+    """The numpy module, raising :class:`BackendError` when missing."""
+    np = _numpy()
+    if np is None:
+        raise BackendError(
+            "backend 'numpy' requires the optional numpy extra; "
+            "install it with `pip install .[numpy]` or use "
+            "backend='python'"
+        )
+    return np
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate a backend name (``None`` = the process default)."""
+    name = _default_backend if backend is None else backend
+    if name not in BACKENDS:
+        raise BackendError(
+            f"unknown backend {name!r} (known: {', '.join(BACKENDS)})"
+        )
+    if name == "numpy":
+        require_numpy()
+    return name
+
+
+def get_default_backend() -> str:
+    """The process-wide default backend name (not yet validated)."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default backend; returns the validated name."""
+    global _default_backend
+    name = resolve_backend(backend)
+    _default_backend = name
+    return name
 
 
 class CompactTopology(Mapping):
@@ -117,6 +209,12 @@ class CompactTopology(Mapping):
         "_flow_residual",
         "_flow_stamp",
         "_flow_epoch",
+        "backend",
+        "_np_arrays",
+        "_np_seen",
+        "_np_stamp",
+        "_np_epoch",
+        "_shm_refs",
     )
 
     #: Below this many nodes the serial kernels win (bidirectional setup
@@ -136,7 +234,9 @@ class CompactTopology(Mapping):
         indptr: list[int],
         indices: list[int],
         version: int = 0,
+        backend: str | None = None,
     ) -> None:
+        self.backend = resolve_backend(backend)
         self.nodes = nodes
         self.indptr = indptr
         self.indices = indices
@@ -188,6 +288,14 @@ class CompactTopology(Mapping):
         self._flow_residual: list[float] | None = None
         self._flow_stamp: list[int] | None = None
         self._flow_epoch = 0
+        # numpy-backend state: lazy int64 CSR mirrors, epoch-stamped
+        # vector scratch, and (for shared-memory adoptees) the attached
+        # segments kept alive for the arrays' lifetime.
+        self._np_arrays = None
+        self._np_seen = None
+        self._np_stamp = None
+        self._np_epoch = 0
+        self._shm_refs = None
 
     # ------------------------------------------------------------ building
 
@@ -196,6 +304,7 @@ class CompactTopology(Mapping):
         cls,
         adjacency: Mapping[NodeId, Sequence[NodeId]],
         version: int = 0,
+        backend: str | None = None,
     ) -> "CompactTopology":
         """Build from a ``node -> neighbors`` mapping.
 
@@ -204,6 +313,9 @@ class CompactTopology(Mapping):
         path result — is identical to running the mapping-based
         algorithms directly.  Neighbors that are not themselves keys
         (dangling references) are interned with no outgoing edges.
+        ``backend=None`` uses the process default (see
+        :func:`set_default_backend`); an input that is already a
+        snapshot passes through with its own backend unchanged.
         """
         if isinstance(adjacency, cls):
             return adjacency
@@ -223,7 +335,75 @@ class CompactTopology(Mapping):
             neighbors = adjacency.get(node, ())
             indices.extend(index[v] for v in neighbors)
             indptr[i + 1] = len(indices)
-        return cls(nodes, indptr, indices, version=version)
+        return cls(nodes, indptr, indices, version=version, backend=backend)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        nodes: Sequence[NodeId],
+        indptr,
+        indices,
+        slot_tail,
+        reverse_slot,
+        version: int = 0,
+        shm_refs: list | None = None,
+    ) -> "CompactTopology":
+        """Adopt prebuilt CSR/slot int64 ndarrays (numpy backend).
+
+        The fast construction path for :mod:`repro.network.shared`: the
+        arrays — typically zero-copy views into a
+        ``multiprocessing.shared_memory`` segment — must describe a
+        *fresh* snapshot (no tombstones, exactly what
+        :meth:`from_adjacency` would build for the same adjacency).
+        Python-kernel list forms are materialized with C-speed
+        ``tolist()`` and the ndarrays themselves become the vector
+        mirrors, so none of the O(E) Python interning/slot loops of
+        ``__init__`` run.  The slot map is built lazily on first use.
+        ``shm_refs`` keeps the owning segments alive for the snapshot's
+        lifetime.
+        """
+        np = require_numpy()
+        ct = object.__new__(cls)
+        ct.backend = "numpy"
+        ct.nodes = list(nodes)
+        n = len(ct.nodes)
+        row_ptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        flat = np.ascontiguousarray(indices, dtype=np.int64)
+        tail = np.ascontiguousarray(slot_tail, dtype=np.int64)
+        reverse = np.ascontiguousarray(reverse_slot, dtype=np.int64)
+        ct.indptr = row_ptr.tolist()
+        ct.indices = flat.tolist()
+        ct.slot_tail = tail.tolist()
+        ct.reverse_slot = reverse.tolist()
+        ct.version = version
+        ct._index = {node: i for i, node in enumerate(ct.nodes)}
+        ct._slot_map = None  # lazy: see the slot_map property
+        ct._neighbor_lists = {}
+        ct._repr_keys = None
+        ct._nbr_idx = None
+        ct._slot_rows = None
+        ct._num_slots = len(ct.indices)
+        ct._base_slots = len(ct.indices)
+        ct._dead_count = 0
+        ct._arena_count = 0
+        ct._seen = [0] * n
+        ct._parent = [0] * n
+        ct._parent_slot = [0] * n
+        ct._epoch = 0
+        ct._seen_b = None
+        ct._parent_b = None
+        ct._dist_f = None
+        ct._dist_b = None
+        ct._symmetric = None
+        ct._flow_residual = None
+        ct._flow_stamp = None
+        ct._flow_epoch = 0
+        ct._np_arrays = (row_ptr, flat, row_ptr[1:] - row_ptr[:-1])
+        ct._np_seen = None
+        ct._np_stamp = None
+        ct._np_epoch = 0
+        ct._shm_refs = shm_refs
+        return ct
 
     # ---------------------------------------------------- delta application
 
@@ -273,7 +453,7 @@ class CompactTopology(Mapping):
         index = self._index
         repr_keys = self._repr_keys
         nodes_copied = False
-        slot_map = dict(self._slot_map)
+        slot_map = dict(self.slot_map)
         indices = self.indices
         slot_tail = self.slot_tail
         reverse_slot = self.reverse_slot
@@ -382,6 +562,17 @@ class CompactTopology(Mapping):
         derived._flow_residual = None
         derived._flow_stamp = None
         derived._flow_epoch = 0
+        derived.backend = self.backend
+        # Vector mirrors never carry over: a derived snapshot's live rows
+        # differ from the base CSR, so the mirrors are rebuilt (lazily,
+        # on the first vectorized sweep) from the rows themselves.
+        derived._np_arrays = None
+        derived._np_seen = None
+        derived._np_stamp = None
+        derived._np_epoch = 0
+        # Derived snapshots reference only plain-list state, never the
+        # base's shared-memory views, so they hold no segment refs.
+        derived._shm_refs = None
         return derived
 
     # ---------------------------------------------------- mapping protocol
@@ -427,9 +618,28 @@ class CompactTopology(Mapping):
         return self._num_slots
 
     @property
+    def slot_map(self) -> dict[tuple[int, int], int]:
+        """``(tail, head) -> slot`` for every live directed edge.
+
+        Built eagerly by ``__init__``; :meth:`from_arrays` snapshots
+        build it here on first use (C-speed ``zip`` over the slot
+        arrays — valid because adopted arrays are tombstone-free).
+        """
+        slot_map = self._slot_map
+        if slot_map is None:
+            slot_map = dict(
+                zip(
+                    zip(self.slot_tail, self.indices),
+                    range(len(self.indices)),
+                )
+            )
+            self._slot_map = slot_map
+        return slot_map
+
+    @property
     def live_slots(self) -> int:
         """Number of live directed edges (slot space minus tombstones)."""
-        return len(self._slot_map)
+        return len(self.slot_map)
 
     def index_of(self, node: NodeId) -> int | None:
         """Dense index of ``node``, or ``None`` if unknown."""
@@ -437,7 +647,7 @@ class CompactTopology(Mapping):
 
     def slot_of(self, u_idx: int, v_idx: int) -> int | None:
         """Slot of directed edge ``u -> v`` (by dense index), or ``None``."""
-        return self._slot_map.get((u_idx, v_idx))
+        return self.slot_map.get((u_idx, v_idx))
 
     def degree_idx(self, i: int) -> int:
         """Out-degree of the node at dense index ``i``."""
@@ -460,7 +670,7 @@ class CompactTopology(Mapping):
     def path_slots(self, idx_path: Sequence[int]) -> list[int] | None:
         """Slots traversed by an index path, or ``None`` on a non-edge."""
         slots = []
-        slot_map = self._slot_map
+        slot_map = self.slot_map
         for u, v in zip(idx_path, idx_path[1:]):
             slot = slot_map.get((u, v))
             if slot is None:
@@ -547,6 +757,133 @@ class CompactTopology(Mapping):
             len(self.nodes) >= self.BIDIRECTIONAL_MIN_NODES
             and self.is_symmetric
         )
+
+    # ------------------------------------------------- numpy backend state
+
+    def _np(self):
+        """Lazy int64 mirrors ``(row_ptr, flat_neighbors, degrees)``.
+
+        On fresh snapshots the mirrors wrap the CSR arrays directly; on
+        delta-derived ones they are flattened from the live rows (so
+        tombstoned slots never appear).  :meth:`from_arrays` snapshots
+        arrive with shared-memory-backed mirrors pre-installed.
+        """
+        arrays = self._np_arrays
+        if arrays is None:
+            np = require_numpy()
+            if (
+                self._dead_count == 0
+                and self._arena_count == 0
+                and len(self.indptr) == len(self.nodes) + 1
+            ):
+                row_ptr = np.asarray(self.indptr, dtype=np.int64)
+                flat = np.asarray(self.indices, dtype=np.int64)
+            else:
+                rows = self.neighbor_idx
+                counts = np.fromiter(
+                    (len(row) for row in rows),
+                    dtype=np.int64,
+                    count=len(rows),
+                )
+                row_ptr = np.zeros(len(rows) + 1, dtype=np.int64)
+                np.cumsum(counts, out=row_ptr[1:])
+                flat = np.fromiter(
+                    (v for row in rows for v in row),
+                    dtype=np.int64,
+                    count=int(row_ptr[-1]),
+                )
+            arrays = (row_ptr, flat, row_ptr[1:] - row_ptr[:-1])
+            self._np_arrays = arrays
+        return arrays
+
+    def _np_scratch(self):
+        """Epoch-stamped ``(seen, stamp, epoch)`` vector scratch."""
+        np = require_numpy()
+        seen = self._np_seen
+        if seen is None:
+            n = len(self.nodes)
+            seen = np.zeros(n, dtype=np.int64)
+            self._np_seen = seen
+            self._np_stamp = np.zeros(n, dtype=np.int64)
+        self._np_epoch += 1
+        return seen, self._np_stamp, self._np_epoch
+
+    def _distances_idx_np(self, src: int) -> dict[int, int]:
+        """Vectorized whole-frontier distance sweep (numpy backend).
+
+        Level by level: gather every frontier edge with one fancy-index
+        pass, drop already-seen heads, then keep the *first occurrence*
+        of each head in edge order via the reversed-last-write stamp
+        trick (``stamp[neigh[::-1]] = pos[::-1]`` leaves each head's
+        first position, so ``stamp[neigh] == pos`` masks exactly the
+        serial kernel's insertions).  The result dict therefore matches
+        the serial sweep bit-for-bit *including insertion order*.
+        """
+        np = _numpy()
+        row_ptr, flat, deg = self._np()
+        seen, stamp, epoch = self._np_scratch()
+        seen[src] = epoch
+        dist = {src: 0}
+        frontier = np.full(1, src, dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            counts = deg[frontier]
+            total = int(counts.sum())
+            if not total:
+                break
+            cum = np.cumsum(counts)
+            pos = np.arange(total, dtype=np.int64)
+            neigh = flat[
+                np.repeat(row_ptr[frontier] - (cum - counts), counts) + pos
+            ]
+            neigh = neigh[seen[neigh] != epoch]
+            if not neigh.size:
+                break
+            pos = pos[: neigh.size]
+            stamp[neigh[::-1]] = pos[::-1]
+            frontier = neigh[stamp[neigh] == pos]
+            seen[frontier] = epoch
+            dist.update(dict.fromkeys(frontier.tolist(), depth))
+        return dist
+
+    def _tree_parents_idx_np(self, src: int) -> dict[int, int]:
+        """Vectorized BFS spanning-tree sweep (numpy backend).
+
+        Same frontier batching and first-occurrence stamping as
+        :meth:`_distances_idx_np`, additionally carrying each edge's
+        tail so the surviving heads adopt exactly the parent the serial
+        kernel would assign.
+        """
+        np = _numpy()
+        row_ptr, flat, deg = self._np()
+        seen, stamp, epoch = self._np_scratch()
+        seen[src] = epoch
+        parent = {src: src}
+        frontier = np.full(1, src, dtype=np.int64)
+        while frontier.size:
+            counts = deg[frontier]
+            total = int(counts.sum())
+            if not total:
+                break
+            cum = np.cumsum(counts)
+            pos = np.arange(total, dtype=np.int64)
+            neigh = flat[
+                np.repeat(row_ptr[frontier] - (cum - counts), counts) + pos
+            ]
+            par = np.repeat(frontier, counts)
+            mask = seen[neigh] != epoch
+            neigh = neigh[mask]
+            if not neigh.size:
+                break
+            par = par[mask]
+            pos = pos[: neigh.size]
+            stamp[neigh[::-1]] = pos[::-1]
+            keep = stamp[neigh] == pos
+            frontier = neigh[keep]
+            seen[frontier] = epoch
+            parent.update(zip(frontier.tolist(), par[keep].tolist()))
+        return parent
 
     def flow_scratch(self) -> tuple[list[float], list[int], int]:
         """Per-slot ``(residual, stamp, epoch)`` scratch for Algorithm 1.
@@ -1010,7 +1347,15 @@ class CompactTopology(Mapping):
         return None
 
     def distances_idx(self, src: int, slot_ok=None) -> dict[int, int]:
-        """Hop distance from ``src`` to every reachable dense index."""
+        """Hop distance from ``src`` to every reachable dense index.
+
+        On the numpy backend the unconstrained sweep is vectorized
+        (identical result, including dict order); a ``slot_ok``
+        predicate forces the serial kernel since per-slot Python
+        callbacks defeat batching.
+        """
+        if slot_ok is None and self.backend == "numpy":
+            return self._distances_idx_np(src)
         dist = {src: 0}
         nbrs = self.neighbor_idx
         queue = [src]
@@ -1040,7 +1385,13 @@ class CompactTopology(Mapping):
         return dist
 
     def tree_parents_idx(self, src: int) -> dict[int, int]:
-        """BFS spanning-tree parent pointers (root maps to itself)."""
+        """BFS spanning-tree parent pointers (root maps to itself).
+
+        Vectorized on the numpy backend — identical result, including
+        dict insertion order (see :meth:`_tree_parents_idx_np`).
+        """
+        if self.backend == "numpy":
+            return self._tree_parents_idx_np(src)
         parent = {src: src}
         nbrs = self.neighbor_idx
         queue = [src]

@@ -28,6 +28,7 @@ from repro.errors import (
 )
 from repro.network.channel import Channel, NodeId
 from repro.network.compact import CompactTopology
+from repro.network import shared as _shared_topology
 from repro.network.fees import FeePolicy, LinearFee, ZeroFee, sample_paper_fee
 
 _EPS = 1e-9
@@ -208,6 +209,13 @@ class ChannelGraph:
         identical below the bidirectional kernel threshold and
         equal-length (possibly different tie-breaks) above it — see
         :mod:`repro.network.compact`.
+
+        Full rebuilds first consult the process's installed
+        shared-memory topology (:mod:`repro.network.shared`): when the
+        exported digest matches this graph's exact adjacency, the
+        snapshot *adopts* the shared arrays instead of re-interning —
+        bit-identical by construction, and the fork workers' escape
+        from per-run O(V+E) rebuild cost.
         """
         cached = self._compact
         if cached is not None and cached.version == self._topology_version:
@@ -223,10 +231,19 @@ class ChannelGraph:
                 pending, version=self._topology_version
             )
         else:
-            snapshot = CompactTopology.from_adjacency(
-                {node: list(nbrs) for node, nbrs in self._adj.items()},
-                version=self._topology_version,
-            )
+            snapshot = None
+            shared_handle = _shared_topology.active()
+            adjacency = {
+                node: list(nbrs) for node, nbrs in self._adj.items()
+            }
+            if shared_handle is not None:
+                snapshot = shared_handle.adopt(
+                    adjacency, version=self._topology_version
+                )
+            if snapshot is None:
+                snapshot = CompactTopology.from_adjacency(
+                    adjacency, version=self._topology_version
+                )
         self._pending_deltas = []
         self._compact = snapshot
         return snapshot

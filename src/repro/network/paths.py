@@ -25,6 +25,16 @@ in the same order, so below the bidirectional-search threshold
 identical; at or above it the compact kernels may break ties between
 equal-length paths differently (lengths, reachability, and determinism
 are preserved).
+
+Kernel *backend* dispatch also lives behind the snapshot, not here:
+under ``backend="numpy"`` the full-sweep entry points
+(:func:`bfs_distances`, :func:`bfs_tree_parents` — the routing-table
+and embedding hot paths) run vectorized frontier batches, while the
+single-pair searches that Yen's spur loop and the disjoint-path
+selection issue stay on the serial kernels under every backend (the
+measured win; see :mod:`repro.network.compact`).  Backends are
+bit-identical — same paths, same dict orders — so callers never need
+to know which one is active.
 """
 
 from __future__ import annotations

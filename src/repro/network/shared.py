@@ -1,0 +1,225 @@
+"""Shared-memory export/adoption of :class:`CompactTopology` arrays.
+
+The fork-based run parallelism in :mod:`repro.sim.runner` inherits the
+scenario *factory* and rebuilds the graph inside every worker, so each
+run used to pay the full O(V+E) Python interning cost of
+``CompactTopology.from_adjacency`` once per scheme copy.  This module
+removes that cost for seed-independent topologies: the parent builds the
+snapshot once, packs its four int64 arrays (``indptr``, ``indices``,
+``slot_tail``, ``reverse_slot``) into a single
+:mod:`multiprocessing.shared_memory` segment, and every worker *adopts*
+the arrays — zero-copy views into the shared pages — instead of
+re-interning (:meth:`CompactTopology.from_arrays`).
+
+Correctness never depends on adoption.  A handle is keyed by a SHA-256
+digest of the exact adjacency (node order **and** neighbor order — the
+BFS tie-break), and :meth:`SharedTopologyHandle.adopt` returns ``None``
+on any mismatch, falling back to a local build.  Seed-dependent
+topologies (a fresh Barabási–Albert graph per run) simply never match;
+snapshot- and grid-based scenarios match on every run, every scheme
+copy, every worker.
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`SharedTopologyHandle.destroy` (close + unlink) when the pool
+drains — :func:`exported` wraps install/clear/destroy for the common
+case.  Fork children reuse the parent's inherited mapping, so they never
+re-register with the ``resource_tracker`` and never unlink.  If the
+owner is killed before unlinking, the resource tracker reclaims the
+segment (that path is exercised by ``tests/sim/test_shared_topology.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from collections.abc import Mapping, Sequence
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+
+from repro.network.channel import NodeId
+from repro.network.compact import CompactTopology, require_numpy
+
+__all__ = [
+    "SharedTopologyHandle",
+    "active",
+    "adjacency_digest",
+    "clear",
+    "export_topology",
+    "exported",
+    "install",
+]
+
+#: Prefix of every segment this module creates — the lifecycle tests
+#: scan ``/dev/shm`` for it to prove nothing leaks.
+SEGMENT_PREFIX = "repro_topo_"
+
+
+def adjacency_digest(adjacency: Mapping[NodeId, Sequence[NodeId]]) -> str:
+    """Digest of the exact adjacency structure, order-sensitive.
+
+    Node iteration order and per-node neighbor order are the BFS
+    tie-break, so both are folded in: two graphs share a digest iff
+    ``CompactTopology.from_adjacency`` would build identical arrays
+    for them (node reprs must round-trip, which str/int/tuple ids do).
+    """
+    h = hashlib.sha256()
+    for node, neighbors in adjacency.items():
+        h.update(repr(node).encode())
+        h.update(b"\x00")
+        h.update(repr(list(neighbors)).encode())
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+class SharedTopologyHandle:
+    """One exported topology: segment name, layout, digest, node table.
+
+    Fork children inherit the whole handle — including the creator's
+    already-mapped segment — through process memory; nothing is pickled
+    and nothing re-attaches by name, so the resource tracker sees
+    exactly one registration (the creator's) per segment.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        digest: str,
+        nodes: list[NodeId],
+        num_slots: int,
+        segment: shared_memory.SharedMemory,
+    ) -> None:
+        self.name = name
+        self.digest = digest
+        self.nodes = nodes
+        self.num_slots = num_slots
+        self._segment = segment
+        self.adoptions = 0
+
+    def _views(self):
+        """Zero-copy read-only int64 views of the four packed arrays."""
+        np = require_numpy()
+        n = len(self.nodes)
+        ns = self.num_slots
+        flat = np.frombuffer(
+            self._segment.buf, dtype=np.int64, count=n + 1 + 3 * ns
+        )
+        flat.flags.writeable = False
+        indptr = flat[: n + 1]
+        indices = flat[n + 1 : n + 1 + ns]
+        slot_tail = flat[n + 1 + ns : n + 1 + 2 * ns]
+        reverse = flat[n + 1 + 2 * ns :]
+        return indptr, indices, slot_tail, reverse
+
+    def adopt(
+        self,
+        adjacency: Mapping[NodeId, Sequence[NodeId]],
+        version: int = 0,
+    ) -> CompactTopology | None:
+        """A snapshot over the shared arrays, or ``None`` on mismatch.
+
+        The digest check makes adoption sound: it succeeds only when a
+        local ``from_adjacency(adjacency)`` would have produced these
+        exact arrays, so results are bit-identical either way.
+        """
+        if adjacency_digest(adjacency) != self.digest:
+            return None
+        indptr, indices, slot_tail, reverse = self._views()
+        snapshot = CompactTopology.from_arrays(
+            self.nodes,
+            indptr,
+            indices,
+            slot_tail,
+            reverse,
+            version=version,
+            shm_refs=[self._segment],
+        )
+        self.adoptions += 1
+        return snapshot
+
+    def close(self) -> None:
+        """Unmap this process's view (the segment itself survives)."""
+        self._segment.close()
+
+    def destroy(self) -> None:
+        """Creator-side teardown: unmap and unlink the segment.
+
+        ``close()`` raises :class:`BufferError` while adopted snapshots
+        in this process still hold views; the unlink proceeds anyway —
+        POSIX keeps the pages alive for existing mappings, so live
+        adoptees stay valid and the memory is reclaimed when they die.
+        """
+        try:
+            self._segment.close()
+        except BufferError:
+            pass
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def export_topology(
+    adjacency: Mapping[NodeId, Sequence[NodeId]],
+) -> SharedTopologyHandle:
+    """Build a fresh snapshot of ``adjacency`` and pack it into a segment.
+
+    Requires the numpy backend's arrays (raises
+    :class:`~repro.errors.BackendError` without the optional extra).
+    """
+    np = require_numpy()
+    snapshot = CompactTopology.from_adjacency(adjacency, backend="numpy")
+    digest = adjacency_digest(adjacency)
+    n = snapshot.num_nodes
+    ns = snapshot.num_slots
+    count = n + 1 + 3 * ns
+    name = f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(count * 8, 8)
+    )
+    packed = np.frombuffer(segment.buf, dtype=np.int64, count=count)
+    packed[: n + 1] = snapshot.indptr
+    packed[n + 1 : n + 1 + ns] = snapshot.indices[:ns]
+    packed[n + 1 + ns : n + 1 + 2 * ns] = snapshot.slot_tail[:ns]
+    packed[n + 1 + 2 * ns :] = snapshot.reverse_slot[:ns]
+    del packed  # release the buffer view before any later close()
+    return SharedTopologyHandle(name, digest, snapshot.nodes, ns, segment)
+
+
+# One installed handle per process.  ``ChannelGraph.compact`` consults it
+# on every full rebuild; fork workers inherit the parent's installation.
+_ACTIVE: SharedTopologyHandle | None = None
+
+
+def install(handle: SharedTopologyHandle) -> None:
+    """Make ``handle`` the process's adoption candidate."""
+    global _ACTIVE
+    _ACTIVE = handle
+
+
+def active() -> SharedTopologyHandle | None:
+    """The installed handle, if any."""
+    return _ACTIVE
+
+
+def clear() -> None:
+    """Uninstall the adoption candidate (segment left untouched)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def exported(adjacency: Mapping[NodeId, Sequence[NodeId]]):
+    """Export ``adjacency``, install the handle, tear everything down.
+
+    The ``finally`` clause uninstalls and unlinks even when the body
+    dies mid-pool, so a crashed sweep cannot leak the segment (only a
+    SIGKILL of the whole process skips it — then the resource tracker
+    reclaims).
+    """
+    handle = export_topology(adjacency)
+    install(handle)
+    try:
+        yield handle
+    finally:
+        clear()
+        handle.destroy()

@@ -24,6 +24,17 @@ per-run results (plain dataclasses of floats) pickle back.  Result order
 is by run index regardless of completion order, so parallel metrics are
 identical to serial ones.
 
+Under the numpy kernel backend (``repro.network.compact.
+set_default_backend("numpy")`` or ``--backend numpy``) the parallel path
+additionally exports the working topology's CSR arrays into one
+``multiprocessing.shared_memory`` segment before forking
+(:mod:`repro.network.shared`): workers inherit the mapping and every
+scheme copy whose adjacency digest matches adopts the arrays zero-copy
+inside ``graph.compact()`` instead of re-interning O(V+E) Python state
+per run.  Adoption is digest-gated, so results stay bit-identical with
+or without it; the segment is unlinked when the pool drains, crashed
+included (SIGKILL of the parent leaves it to the resource tracker).
+
 Passing ``store=`` (an :class:`repro.eval.store.ExperimentStore`) makes
 both entry points **write-through and resumable**: every completed
 (scheme, run) cell is appended to the store as it finishes, and a
@@ -45,6 +56,8 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.network import compact as compact_backend
+from repro.network import shared as shared_topology
 from repro.network.dynamics import ChannelEvent, run_dynamic_simulation
 from repro.network.graph import ChannelGraph
 from repro.sim.engine import RouterFactory, run_simulation
@@ -331,6 +344,36 @@ def _forked_run(run_index: int) -> dict[str, SimulationResult]:
     return results
 
 
+def _export_shared_topology(
+    scenario: ScenarioFactory,
+    base_seed: int,
+    run_index: int,
+) -> "shared_topology.SharedTopologyHandle | None":
+    """Export the run's *working-copy* topology for worker adoption.
+
+    Only under the numpy backend.  The parent rebuilds the first
+    pending run's scenario with that run's exact RNG derivation, takes
+    the same deterministic :meth:`ChannelGraph.copy` each engine takes,
+    and exports the copy's adjacency: every scheme copy in every worker
+    whose adjacency digest matches (all of them, for seed-independent
+    topologies) adopts the shared arrays inside ``graph.compact()``
+    instead of re-interning.  Seed-dependent topologies digest-mismatch
+    and build locally — sharing is an optimization, never a dependency.
+    Any failure here (an exotic scenario, unpicklable probe, exhausted
+    ``/dev/shm``) degrades to no sharing.
+    """
+    if compact_backend.get_default_backend() != "numpy":
+        return None
+    if not compact_backend.numpy_available():  # pragma: no cover - guard
+        return None
+    try:
+        probe_rng = random.Random(base_seed + 1_000_003 * run_index)
+        graph = scenario(probe_rng)[0]
+        return shared_topology.export_topology(graph.copy().adjacency())
+    except Exception:
+        return None
+
+
 def _run_parallel(
     scenario: ScenarioFactory,
     factories: dict[str, RouterFactory],
@@ -352,29 +395,41 @@ def _run_parallel(
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
     store_directory = str(store.directory) if store is not None else None
-    with _FORK_LOCK:
-        _FORK_STATE = (
-            scenario,
-            factories,
-            base_seed,
-            reference_mice_fraction,
-            store_directory,
-            experiment,
-            digest,
-            params,
-            engine,
-            engine_params,
-        )
-        try:
-            pool = context.Pool(processes=min(workers, len(run_indices)))
-        finally:
-            _FORK_STATE = None
+    shared_handle = _export_shared_topology(
+        scenario, base_seed, run_indices[0]
+    )
+    if shared_handle is not None:
+        # Installed before the fork so every worker inherits both the
+        # handle and the parent's segment mapping — workers attach by
+        # inheritance, not by name, and never pickle topology arrays.
+        shared_topology.install(shared_handle)
     try:
+        with _FORK_LOCK:
+            _FORK_STATE = (
+                scenario,
+                factories,
+                base_seed,
+                reference_mice_fraction,
+                store_directory,
+                experiment,
+                digest,
+                params,
+                engine,
+                engine_params,
+            )
+            try:
+                pool = context.Pool(processes=min(workers, len(run_indices)))
+            finally:
+                _FORK_STATE = None
         with pool:
             return pool.map(_forked_run, run_indices, chunksize=1)
     finally:
-        # Merge even when a task raised or the pool was interrupted:
-        # shards written by completed workers become durable records.
+        # Unlink the shared segment even when a task raised, pool
+        # creation failed, or the pool was interrupted; likewise merge
+        # shards written by completed workers into durable records.
+        if shared_handle is not None:
+            shared_topology.clear()
+            shared_handle.destroy()
         if store is not None:
             store.merge_shards()
 

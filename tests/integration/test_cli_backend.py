@@ -1,0 +1,103 @@
+"""Negative-path and smoke tests for kernel-backend selection.
+
+The satellite contract: asking for the numpy backend on a box without
+numpy must fail with a clear :class:`~repro.errors.ReproError` carrying
+an install hint — never a raw ``ImportError`` traceback — and the CLI
+must reject unknown backend names at the argparse layer (usage error,
+exit code 2), before any simulation work starts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import BackendError, ReproError
+from repro.network import compact
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Pretend numpy is not installed (the probe cached a miss)."""
+    monkeypatch.setattr(compact, "_numpy_module", None)
+    monkeypatch.setattr(compact, "_default_backend", "python")
+
+
+class TestMissingNumpy:
+    def test_resolve_raises_repro_error(self, no_numpy):
+        with pytest.raises(ReproError) as excinfo:
+            compact.resolve_backend("numpy")
+        assert not isinstance(excinfo.value, ImportError)
+        assert "numpy" in str(excinfo.value)
+        assert "pip install" in str(excinfo.value)
+
+    def test_backend_error_is_repro_error(self):
+        # Callers catching the package-wide base class see backend
+        # failures too; nothing needs to special-case BackendError.
+        assert issubclass(BackendError, ReproError)
+
+    def test_constructor_raises_repro_error(self, no_numpy):
+        with pytest.raises(ReproError):
+            compact.CompactTopology.from_adjacency(
+                {"a": ["b"], "b": ["a"]}, backend="numpy"
+            )
+
+    def test_set_default_raises_repro_error(self, no_numpy):
+        with pytest.raises(ReproError):
+            compact.set_default_backend("numpy")
+        assert compact.get_default_backend() == "python"
+
+    def test_numpy_available_reports_false(self, no_numpy):
+        assert compact.numpy_available() is False
+
+    def test_cli_run_reports_error_not_traceback(self, no_numpy, capsys):
+        code = main(
+            ["run", "ripple-default", "--runs", "1", "--backend", "numpy"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "pip install" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestUnknownBackend:
+    @pytest.mark.parametrize("command", ["run", "sweep", "report"])
+    def test_argparse_rejects_unknown_choice(self, command, capsys):
+        argv = {
+            "run": ["run", "ripple-default", "--backend", "bogus"],
+            "sweep": [
+                "sweep", "ripple-default", "--axis", "engine.load",
+                "--values", "1", "--backend", "bogus",
+            ],
+            "report": ["report", "--smoke", "--backend", "bogus"],
+        }[command]
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'bogus'" in capsys.readouterr().err
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            compact.resolve_backend("bogus")
+        with pytest.raises(ReproError, match="unknown backend"):
+            compact.set_default_backend("bogus")
+
+
+@pytest.mark.skipif(
+    not compact.numpy_available(), reason="numpy is not installed"
+)
+class TestNumpySmoke:
+    def test_cli_run_with_numpy_backend(self, capsys, monkeypatch):
+        monkeypatch.setattr(compact, "_default_backend", "python")
+        code = main(
+            [
+                "run", "ripple-default", "--runs", "1",
+                "--transactions", "10", "--backend", "numpy",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Flash" in out
+        # The flag mutated only this process's default, not the env.
+        compact.set_default_backend("python")

@@ -22,7 +22,12 @@ import random
 
 import pytest
 
-from repro.network.compact import CompactTopology
+from repro.network.compact import (
+    CompactTopology,
+    get_default_backend,
+    numpy_available,
+    set_default_backend,
+)
 from repro.network.dynamics import (
     ChannelEvent,
     ChannelEventType,
@@ -44,6 +49,24 @@ from repro.traces.generators import generate_ripple_workload
 #: *sequences* (not just lengths) must match the rebuild exactly; the
 #: large size exercises the bidirectional kernels on delta snapshots.
 GRAPH_SIZES = (40, 150)
+
+
+@pytest.fixture(autouse=True, params=("python", "numpy"))
+def kernel_backend(request):
+    """Run every fuzz case under both kernel backends.
+
+    The incremental-maintenance contract is backend-independent: delta
+    snapshots, tombstones, and arena growth must be observably identical
+    to a rebuild whichever kernels execute the BFS.  Parameterizing at
+    module level reuses the whole suite as a second differential layer on
+    top of tests/property/test_backend_equivalence.py.
+    """
+    if request.param == "numpy" and not numpy_available():
+        pytest.skip("numpy is not installed")
+    previous = get_default_backend()
+    set_default_backend(request.param)
+    yield request.param
+    set_default_backend(previous)
 
 
 def _random_graph(rng: random.Random, n_nodes: int) -> ChannelGraph:
