@@ -45,8 +45,9 @@ columns; see docs/RESILIENCE.md.
 
 ``sweep`` runs one registered scenario across several values of one
 parameter (``--axis ROLE.KEY --values V1,V2,...``, where ROLE is
-``topology``/``workload``/``dynamics``/``fault`` or — for concurrent
-scenarios — ``engine``); with ``--out DIR`` every completed (scheme, seed) cell is
+``topology``/``workload``/``dynamics``/``fault``, ``fee`` — sugar for
+the dynamics axes of fee-market scenarios — or, for concurrent
+scenarios, ``engine``); with ``--out DIR`` every completed (scheme, seed) cell is
 persisted to ``DIR/records.jsonl`` and ``--resume`` re-invokes an
 interrupted sweep without recomputing completed cells.  ``report``
 regenerates the paper's headline comparison (Flash vs all four
@@ -503,6 +504,12 @@ def _cmd_run(args) -> int:
         return 2
     concurrent = engine == "concurrent"
     faulted = scenario.faults is not None
+    # Policy-priced runs (fee-market dynamics, fee-column snapshots)
+    # carry the BOLT fee metrics; fee-free runs never grow columns.
+    priced = any(
+        metrics.fee_paid_total or metrics.hub_revenue
+        for metrics in comparison.metrics.values()
+    )
     rows = [
         [
             name,
@@ -511,6 +518,15 @@ def _cmd_run(args) -> int:
             f"{metrics.probe_messages:.0f}",
             f"{metrics.fee_to_volume_percent:.2f}",
         ]
+        + (
+            [
+                f"{metrics.fee_paid_total:.4g}",
+                f"{metrics.fee_p50:.4g}",
+                f"{metrics.hub_revenue:.4g}",
+            ]
+            if priced
+            else []
+        )
         + (
             [
                 f"{metrics.latency_p50:.2f}",
@@ -542,6 +558,11 @@ def _cmd_run(args) -> int:
             "probe msgs",
             "fee/volume (%)",
         ]
+        + (
+            ["fee paid", "fee p50", "hub revenue"]
+            if priced
+            else []
+        )
         + (
             ["p50 lat (s)", "p95 lat (s)", "retries", "timeouts"]
             if concurrent
@@ -611,7 +632,7 @@ def _records_line(store, cells_before: int, expected: int) -> str:
     return line + ")"
 
 
-_SWEEP_ROLES = ("topology", "workload", "dynamics", "fault", "engine")
+_SWEEP_ROLES = ("topology", "workload", "dynamics", "fee", "fault", "engine")
 
 
 def _cmd_sweep(args) -> int:
@@ -639,6 +660,20 @@ def _cmd_sweep(args) -> int:
         values = [value for value in args.values.split(",") if value]
         if not values:
             raise scenarios.ScenarioError("--values needs at least one value")
+        if role == "fee":
+            # Sugar for the fee-market dynamics axes: `fee.KEY` sweeps a
+            # dynamics parameter of a fee-market scenario, keeping sweep
+            # invocations readable (fee.sensitivity, fee.initial_rate...).
+            if scenario.dynamics != "fee-market":
+                raise scenarios.ScenarioError(
+                    "--axis fee.KEY needs the fee-market dynamics "
+                    "ingredient (pick a fee-market scenario)"
+                )
+            dynamics_entry = scenarios.DYNAMICS.get(scenario.dynamics)
+            for value in values:
+                # Validate the axis key and every value eagerly, before
+                # any run starts (bind raises on unknown keys/bad values).
+                dynamics_entry.bind({**scenario.dynamics_params, key: value})
         if role == "fault":
             if scenario.faults is None:
                 raise scenarios.ScenarioError(
@@ -709,7 +744,9 @@ def _cmd_sweep(args) -> int:
             "fault_overrides": dict(fault_overrides),
         }
         if role != "engine":
-            overrides[f"{role}_overrides"][key] = value
+            # The fee axis is sugar for a fee-market dynamics override.
+            section = "dynamics" if role == "fee" else role
+            overrides[f"{section}_overrides"][key] = value
         if args.transactions is not None and not (
             role == "workload" and key == "transactions"
         ):
@@ -759,6 +796,16 @@ def _cmd_sweep(args) -> int:
         metric_blocks += [
             ("p95 latency (s)", "latency_p95", 1.0),
             ("timeout failures", "timeout_failures", 1.0),
+        ]
+    if any(
+        metrics.fee_paid_total or metrics.hub_revenue
+        for metric_list in series.values()
+        for metrics in metric_list
+    ):
+        metric_blocks += [
+            ("fee paid (total)", "fee_paid_total", 1.0),
+            ("fee p50", "fee_p50", 1.0),
+            ("hub revenue", "hub_revenue", 1.0),
         ]
     if scenario.faults is not None:
         metric_blocks += [
@@ -1015,7 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep one scenario parameter across several values",
         description="Run a registered scenario once per value of one "
         "parameter (--axis ROLE.KEY, ROLE one of topology/workload/"
-        "dynamics/fault/engine; list-scenarios --verbose shows every KEY, "
+        "dynamics/fee/fault/engine; list-scenarios --verbose shows every KEY, "
         "docs/CONCURRENCY.md the engine KEYs, docs/RESILIENCE.md the "
         "fault KEYs) and print "
         "one series table per headline metric. With --out DIR every "

@@ -190,6 +190,31 @@ TABLES: tuple[TableSpec, ...] = (
         figure="fault injection (docs/RESILIENCE.md)",
         optional_metric=True,
     ),
+    TableSpec(
+        "fee_paid_total",
+        "Total fees paid by senders",
+        "fee_paid_total",
+        ".4f",
+        figure="fee market (paper Fig 9, made dynamic)",
+        chart=True,
+        optional_metric=True,
+    ),
+    TableSpec(
+        "fee_p50",
+        "Median fee per successful payment",
+        "fee_p50",
+        ".6f",
+        figure="fee market (paper Fig 9, made dynamic)",
+        optional_metric=True,
+    ),
+    TableSpec(
+        "hub_revenue",
+        "Top-earning node fee revenue",
+        "hub_revenue",
+        ".4f",
+        figure="fee market (paper Fig 9, made dynamic)",
+        optional_metric=True,
+    ),
 )
 
 

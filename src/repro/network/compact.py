@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Mapping, Sequence
+from heapq import heappop, heappush
 
 from repro.errors import BackendError
 from repro.network.channel import NodeId
@@ -80,6 +81,13 @@ __all__ = [
 
 #: Recognized kernel backends, in preference order for documentation.
 BACKENDS: tuple[str, ...] = ("python", "numpy")
+
+#: Per-slot policy defaults for directions without a gossip record —
+#: must match ``repro.network.fees.DEFAULT_POLICY`` (free,
+#: unconstrained forwarding); kept as literals so the kernel module
+#: stays import-light.
+_DEFAULT_CLTV = 40
+_INF = float("inf")
 
 #: ``False`` = not probed yet; ``None`` = probed, numpy missing;
 #: otherwise the imported module.  Tests monkeypatch this to ``None``
@@ -215,6 +223,9 @@ class CompactTopology(Mapping):
         "_np_stamp",
         "_np_epoch",
         "_shm_refs",
+        "policy_version",
+        "_policy_arrays",
+        "_np_policy_arrays",
     )
 
     #: Below this many nodes the serial kernels win (bidirectional setup
@@ -296,6 +307,10 @@ class CompactTopology(Mapping):
         self._np_stamp = None
         self._np_epoch = 0
         self._shm_refs = None
+        # Per-slot BOLT policy arrays (see install_policies); 0 = none.
+        self.policy_version = 0
+        self._policy_arrays = None
+        self._np_policy_arrays = None
 
     # ------------------------------------------------------------ building
 
@@ -403,6 +418,11 @@ class CompactTopology(Mapping):
         ct._np_stamp = None
         ct._np_epoch = 0
         ct._shm_refs = shm_refs
+        # The shared export is policy-free; adopting graphs reinstall
+        # their own policy arrays locally (ChannelGraph._refresh_policies).
+        ct.policy_version = 0
+        ct._policy_arrays = None
+        ct._np_policy_arrays = None
         return ct
 
     # ---------------------------------------------------- delta application
@@ -460,6 +480,7 @@ class CompactTopology(Mapping):
         neighbor_lists = dict(self._neighbor_lists)
         dead = self._dead_count
         arena = self._arena_count
+        policy_arrays = self._policy_arrays
         touched: set[int] = set()
 
         def own(i: int) -> None:
@@ -493,6 +514,20 @@ class CompactTopology(Mapping):
                 slot_map[(ia, ib)] = s_ab
                 slot_map[(ib, ia)] = s_ba
                 arena += 2
+                if policy_arrays is not None:
+                    # Keep the per-slot policy arrays aligned with the
+                    # arena: churn-opened directions have no gossip
+                    # record yet, so both new slots get the default
+                    # (free, unconstrained) policy.  Appending at the
+                    # tail is safe for the base snapshot — its kernels
+                    # never index past its own slot count.
+                    base_f, rate_f, cltv_f, hmin_f, hmax_f = policy_arrays
+                    for _ in range(2):
+                        base_f.append(0.0)
+                        rate_f.append(0.0)
+                        cltv_f.append(_DEFAULT_CLTV)
+                        hmin_f.append(0.0)
+                        hmax_f.append(_INF)
             elif kind == "close":
                 _, a, b = op
                 ia = index[a]
@@ -573,6 +608,12 @@ class CompactTopology(Mapping):
         # Derived snapshots reference only plain-list state, never the
         # base's shared-memory views, so they hold no segment refs.
         derived._shm_refs = None
+        # Policy arrays are append-only and slot-parallel, so the
+        # derived snapshot shares them like the other slot arrays; the
+        # numpy mirror is length-dependent and rebuilt lazily.
+        derived.policy_version = self.policy_version
+        derived._policy_arrays = policy_arrays
+        derived._np_policy_arrays = None
         return derived
 
     # ---------------------------------------------------- mapping protocol
@@ -1404,3 +1445,234 @@ class CompactTopology(Mapping):
                     parent[v] = u
                     queue.append(v)
         return parent
+
+    # ------------------------------------------------- fee-policy kernels
+
+    def install_policies(self, lookup, version: int) -> None:
+        """Install per-slot BOLT policy arrays from ``lookup``.
+
+        ``lookup(u, v)`` returns the :class:`~repro.network.fees.ChannelPolicy`
+        of the directed channel ``u -> v`` (node ids, not indices).
+        Slots are filled from the live rows; tombstoned slots keep the
+        default (free) policy, which is harmless — the kernels never
+        touch them.  ``version`` stamps the graph's policy counter so
+        :meth:`ChannelGraph.compact` can skip reinstalling when nothing
+        changed.
+        """
+        num = self._num_slots
+        base = [0.0] * num
+        rate = [0.0] * num
+        cltv = [_DEFAULT_CLTV] * num
+        hmin = [0.0] * num
+        hmax = [_INF] * num
+        nodes = self.nodes
+        for u, (srow, nrow) in enumerate(
+            zip(self.slot_rows, self.neighbor_idx)
+        ):
+            u_node = nodes[u]
+            for s, v in zip(srow, nrow):
+                policy = lookup(u_node, nodes[v])
+                base[s] = policy.base_fee
+                rate[s] = policy.fee_rate
+                cltv[s] = policy.cltv_delta
+                hmin[s] = policy.htlc_min
+                hmax[s] = policy.htlc_max
+        self._policy_arrays = (base, rate, cltv, hmin, hmax)
+        self._np_policy_arrays = None
+        self.policy_version = version
+
+    def _np_policy(self):
+        """Lazy float64/int64 mirrors of the per-slot policy arrays."""
+        arrays = self._np_policy_arrays
+        if arrays is None:
+            np = require_numpy()
+            base, rate, _cltv, hmin, hmax = self._policy_arrays
+            arrays = (
+                np.asarray(base, dtype=np.float64),
+                np.asarray(rate, dtype=np.float64),
+                np.asarray(hmin, dtype=np.float64),
+                np.asarray(hmax, dtype=np.float64),
+                np.asarray(self.reverse_slot, dtype=np.int64),
+            )
+            self._np_policy_arrays = arrays
+        return arrays
+
+    def path_cost_idx(
+        self, idx_path: Sequence[int], amount: float
+    ) -> float | None:
+        """Total sent delivering ``amount`` along ``idx_path``, or ``None``.
+
+        Walks the path receiver-to-sender applying each live slot's
+        policy with the same association as the Dijkstra relax (fee
+        first, then add), so a path returned by
+        :meth:`cheapest_path_idx` re-prices to exactly its reported
+        total.  ``None`` when an edge is missing (stale path after
+        churn) or a policy rejects the carried amount.  The sender's
+        own edge charges nothing but its htlc bounds still apply.
+        """
+        slots = self.path_slots(idx_path)
+        if slots is None:
+            return None
+        arrays = self._policy_arrays
+        if arrays is None:
+            return amount
+        base, rate, _cltv, hmin, hmax = arrays
+        a = amount
+        for j in range(len(slots) - 1, -1, -1):
+            s = slots[j]
+            if amount < hmin[s] or a > hmax[s]:
+                return None
+            if j > 0 and a > 0.0:
+                fee = base[s] + rate[s] * a
+                a = a + fee
+        return a
+
+    def cheapest_path_idx(
+        self,
+        src: int,
+        dst: int,
+        amount: float,
+        banned: set[int] | None = None,
+        blocked: bytearray | None = None,
+        free_source_edge: bool = True,
+    ) -> tuple[list[int], float] | None:
+        """Cheapest feasible path delivering ``amount`` from src to dst.
+
+        Dijkstra run *backwards* from the receiver: a node's label is
+        the amount that must arrive there for ``amount`` to reach
+        ``dst``, so relaxing the payment edge ``v -> u`` compounds the
+        BOLT fee recursion of :func:`~repro.network.fees.hop_amounts`
+        exactly (the sender's own edge charges nothing).  An edge is
+        feasible when its ``htlc_max`` admits the carried label and its
+        ``htlc_min`` admits the *delivered* amount — the static check
+        that keeps label dominance exact (see ``ChannelPolicy.admits``).
+        Ties (equal send amount) break by hop count, then by the
+        lexicographically smallest dense-index path — the same total
+        order the brute-force oracle in ``tests/property/test_fee_oracle``
+        sorts by, which is what makes the two bit-identical.
+
+        ``banned`` holds directed-edge codes ``u * n + v`` naming the
+        *payment* direction; ``blocked`` marks nodes that must not relay
+        (``src`` exempt).  Returns ``(index_path, total_sent)`` — path
+        in payment order, ``total_sent - amount`` is the fee — or
+        ``None`` when no feasible path exists.  Without installed
+        policy arrays every edge is free and unconstrained, so the
+        result degenerates to fewest-hops with ``total_sent == amount``.
+        ``free_source_edge=False`` makes the edge out of ``src`` charge
+        like any other — Yen's spur searches use it, since a spur node
+        mid-path is an intermediate hop, not the sender.
+        """
+        if src == dst:
+            return [src], amount
+        if blocked is not None and blocked[dst]:
+            return None
+        if self.backend == "numpy" and self._policy_arrays is not None:
+            return self._cheapest_path_idx_np(
+                src, dst, amount, banned, blocked, free_source_edge
+            )
+        arrays = self._policy_arrays
+        if arrays is not None:
+            base, rate, _cltv, hmin, hmax = arrays
+        rev = self.reverse_slot
+        srows = self.slot_rows
+        nbrs = self.neighbor_idx
+        n = len(self.nodes)
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen
+        heap = [(amount, 0, (dst,))]
+        while heap:
+            label, hops, path = heappop(heap)
+            u = path[0]
+            if seen[u] == epoch:
+                continue
+            seen[u] = epoch
+            if u == src:
+                return list(path), label
+            next_hops = hops + 1
+            for s, v in zip(srows[u], nbrs[u]):
+                if seen[v] == epoch:
+                    continue
+                rs = rev[s]
+                if rs < 0:
+                    continue
+                if blocked is not None and v != src and blocked[v]:
+                    continue
+                if banned is not None and v * n + u in banned:
+                    continue
+                if arrays is not None:
+                    if amount < hmin[rs] or label > hmax[rs]:
+                        continue
+                    if (free_source_edge and v == src) or label <= 0.0:
+                        cand = label
+                    else:
+                        # fee first, then add: the same association as
+                        # ``a + policy.fee(a)`` in ``hop_amounts`` and
+                        # as the numpy relax, keeping all three
+                        # bit-identical.
+                        fee = base[rs] + rate[rs] * label
+                        cand = label + fee
+                else:
+                    cand = label
+                heappush(heap, (cand, next_hops, (v,) + path))
+        return None
+
+    def _cheapest_path_idx_np(
+        self,
+        src: int,
+        dst: int,
+        amount: float,
+        banned: set[int] | None,
+        blocked: bytearray | None,
+        free_source_edge: bool,
+    ) -> tuple[list[int], float] | None:
+        """Numpy relax step for :meth:`cheapest_path_idx`.
+
+        Each settle gathers the node's whole slot row, computes every
+        reverse-edge fee and feasibility mask in one float64/bool pass,
+        then pushes in row order from the materialized lists — the same
+        IEEE ops in the same order as the serial kernel, so the two are
+        bit-identical (fuzzed in ``tests/property/test_backend_equivalence``).
+        """
+        np = _numpy()
+        base_np, rate_np, hmin_np, hmax_np, rev_np = self._np_policy()
+        srows = self.slot_rows
+        nbrs = self.neighbor_idx
+        n = len(self.nodes)
+        self._epoch += 1
+        epoch = self._epoch
+        seen = self._seen
+        heap = [(amount, 0, (dst,))]
+        while heap:
+            label, hops, path = heappop(heap)
+            u = path[0]
+            if seen[u] == epoch:
+                continue
+            seen[u] = epoch
+            if u == src:
+                return list(path), label
+            row = srows[u]
+            if not row:
+                continue
+            rs = rev_np[np.asarray(row, dtype=np.int64)]
+            ok = (hmin_np[rs] <= amount) & (label <= hmax_np[rs])
+            if label > 0.0:
+                fees = base_np[rs] + rate_np[rs] * label
+            else:
+                fees = np.zeros(len(row), dtype=np.float64)
+            ok_list = ok.tolist()
+            fee_list = fees.tolist()
+            next_hops = hops + 1
+            for j, v in enumerate(nbrs[u]):
+                if seen[v] == epoch or not ok_list[j]:
+                    continue
+                if blocked is not None and v != src and blocked[v]:
+                    continue
+                if banned is not None and v * n + u in banned:
+                    continue
+                if (free_source_edge and v == src) or label <= 0.0:
+                    cand = label
+                else:
+                    cand = label + fee_list[j]
+                heappush(heap, (cand, next_hops, (v,) + path))
+        return None

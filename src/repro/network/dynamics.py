@@ -373,6 +373,14 @@ apply_events`); legacy no-argument hooks keep working unchanged.
                 self._batch.append(event)
             self._cursor += 1
         self.applied_events += applied
+        if now - self._last_gossip >= self.gossip_period:
+            # Fee repricing is channel_update gossip: a controller tick
+            # happens on the gossip cadence even when the churn stream
+            # is empty (the fee-market scenarios have no churn at all),
+            # and a repricing alone is reason to gossip.
+            controller = getattr(self.graph, "fee_controller", None)
+            if controller is not None and controller.update(self.graph, now):
+                self._pending_gossip = True
         if self._pending_gossip and now - self._last_gossip >= self.gossip_period:
             self._gossip(now)
         return applied
@@ -554,7 +562,8 @@ def run_dynamic_simulation(
     (see :func:`repro.sim.faults.resilience_metrics`).
     """
     from repro.network.view import NetworkView
-    from repro.sim.metrics import SimulationResult, TransactionRecord
+    from repro.sim.engine import accrue_revenue
+    from repro.sim.metrics import SimulationResult, TransactionRecord, fee_metrics
 
     working = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
@@ -569,11 +578,17 @@ def run_dynamic_simulation(
     threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
     result = SimulationResult(scheme=router.name)
     horizon = workload[len(workload) - 1].time if len(workload) else 0.0
+    revenue_by_node: dict = {}
     for transaction in workload:
         schedule.advance_to(transaction.time)
         probes_before = view.counters.probe_messages
         payments_before = view.counters.payment_messages
         outcome = router.route(transaction)
+        # ``policy_aware`` is re-read per transaction: a fee controller
+        # attached by the scenario may assign the first policies at a
+        # gossip tick mid-run.
+        if working.policy_aware and outcome.success:
+            accrue_revenue(working, outcome, revenue_by_node)
         result.records.append(
             TransactionRecord(
                 txid=transaction.txid,
@@ -586,6 +601,8 @@ def run_dynamic_simulation(
                 paths_used=len(outcome.transfers),
             )
         )
+    if working.policy_aware:
+        result.fees = fee_metrics(result.records, revenue_by_node)
     if faults is not None:
         from repro.sim.faults import resilience_metrics
 

@@ -1,0 +1,136 @@
+"""Load-responsive fee markets over BOLT #7 channel policies.
+
+The fee-market scenario family prices channels with
+:class:`~repro.network.fees.ChannelPolicy` records and lets selected
+nodes *reprice* between gossip periods in response to the payment volume
+they actually relayed — the revenue-vs-success tradeoff study that grows
+the paper's static Fig 9 sweep (``fig9_fee_optimization``) into a
+dynamic market.
+
+Two pieces:
+
+* :func:`assign_market_policies` seeds the initial per-direction
+  policies on a graph (uniform rate, or the paper's Fig-9 two-band
+  mix), flipping it into policy-aware mode;
+* :class:`FeeMarketController` is the repricing rule.  It is **frozen
+  and stateless** — parameters only.  All mutable market state lives on
+  the per-run graph copy (:attr:`ChannelGraph.traffic` accrues settled
+  volume and is cleared each tick; policies live on the channels), so
+  the same controller instance can be shared by every scheme's run of a
+  sweep without leaking state across them.
+
+The controller is ticked by
+:meth:`~repro.network.dynamics.GossipSchedule.advance_to` on the gossip
+cadence: fee repricing *is* ``channel_update`` gossip, so a repricing
+tick both mutates policies and triggers a router gossip round even when
+the churn event stream is empty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.network.fees import ChannelPolicy, sample_paper_fee
+from repro.network.graph import ChannelGraph
+
+
+def assign_market_policies(
+    graph: ChannelGraph,
+    rng: random.Random,
+    base_fee: float = 0.0,
+    initial_rate: float = 0.005,
+    paper_mix: bool = False,
+    htlc_min: float = 0.0,
+    htlc_max: float = float("inf"),
+) -> int:
+    """Install initial :class:`ChannelPolicy` records on every direction.
+
+    ``paper_mix=True`` draws each direction's proportional rate with the
+    Fig-9 mix (90% of channels in [0.1%, 1%), 10% in [1%, 10%)) instead
+    of the uniform ``initial_rate``; channels are visited in the graph's
+    deterministic channel order, both directions per channel, so equal
+    seeds give equal markets.  Returns the number of directions priced.
+    """
+    priced = 0
+    for channel in graph.channels():
+        a, b = channel.endpoints()
+        for src, dst in ((a, b), (b, a)):
+            rate = (
+                sample_paper_fee(rng).rate if paper_mix else initial_rate
+            )
+            graph.set_channel_policy(
+                src,
+                dst,
+                ChannelPolicy(
+                    base_fee=base_fee,
+                    fee_rate=rate,
+                    htlc_min=htlc_min,
+                    htlc_max=htlc_max,
+                ),
+            )
+            priced += 1
+    return priced
+
+
+@dataclass(frozen=True)
+class FeeMarketController:
+    """Multiplicative load-responsive repricing of channel fee rates.
+
+    At each gossip tick, every *priced node* (the ``hubs``
+    highest-degree nodes, or all nodes when ``hubs == 0``) adjusts the
+    proportional rate of each outgoing direction by
+
+    ``rate <- clamp(rate * (decay + sensitivity * utilization),
+    min_rate, max_rate)``
+
+    where ``utilization`` is the volume the direction settled since the
+    last tick (read from :attr:`ChannelGraph.traffic`, then cleared)
+    over the channel's total funds.  Idle channels decay toward
+    ``min_rate`` (``decay < 1``); loaded ones surge toward ``max_rate``.
+    The equilibrium utilization — where the factor is exactly 1 — is
+    ``(1 - decay) / sensitivity``.
+
+    ``update`` returns True when any policy changed, which
+    :class:`~repro.network.dynamics.GossipSchedule` treats as pending
+    ``channel_update`` gossip.
+    """
+
+    hubs: int = 0
+    min_rate: float = 0.001
+    max_rate: float = 0.10
+    sensitivity: float = 4.0
+    decay: float = 0.9
+
+    def priced_nodes(self, graph: ChannelGraph) -> list:
+        """The repricing nodes, in deterministic rank order."""
+        nodes = graph.nodes
+        if self.hubs <= 0:
+            return nodes
+        ranked = sorted(
+            nodes, key=lambda node: (-graph.degree(node), repr(node))
+        )
+        return ranked[: self.hubs]
+
+    def update(self, graph: ChannelGraph, now: float) -> bool:
+        """Reprice one tick from the accrued traffic; clear the signal."""
+        traffic = graph.traffic
+        changed = False
+        for u in self.priced_nodes(graph):
+            for v in graph.neighbors(u):
+                policy = graph.channel_policy(u, v)
+                capacity = graph.total_capacity(u, v)
+                if capacity <= 0:
+                    continue
+                utilization = traffic.get((u, v), 0.0) / capacity
+                rate = policy.fee_rate * (
+                    self.decay + self.sensitivity * utilization
+                )
+                rate = min(self.max_rate, max(self.min_rate, rate))
+                if rate != policy.fee_rate:
+                    graph.set_channel_policy(
+                        u, v, replace(policy, fee_rate=rate)
+                    )
+                    changed = True
+        traffic.clear()
+        return changed

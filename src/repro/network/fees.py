@@ -89,6 +89,105 @@ class QuadraticFee:
         return self.rate + 2.0 * self.quad * amount
 
 
+@dataclass(frozen=True)
+class ChannelPolicy:
+    """One direction's BOLT #7 gossip record (``channel_update``).
+
+    ``base_fee``/``fee_rate`` mirror ``fee_base_msat`` /
+    ``fee_proportional_millionths`` (already scaled to this simulator's
+    float units), ``cltv_delta`` the hop's timelock increment, and
+    ``htlc_min``/``htlc_max`` the forwarding bounds.  The charging
+    function matches :class:`LinearFee`, so a policy slots anywhere a
+    :class:`FeePolicy` is accepted (fee optimizer, ``path_fee``), but —
+    unlike the legacy policies — its *presence* switches a graph into
+    policy-aware mode: compounded BOLT fee recursion, feasibility
+    pruning, and fee-aware escrow (see :func:`hop_amounts`).
+    """
+
+    base_fee: float = 0.0
+    fee_rate: float = 0.0
+    cltv_delta: int = 40
+    htlc_min: float = 0.0
+    htlc_max: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.base_fee < 0 or self.fee_rate < 0:
+            raise ValueError("fee parameters must be non-negative")
+        if self.cltv_delta < 0:
+            raise ValueError("cltv_delta must be non-negative")
+        if self.htlc_min < 0 or self.htlc_max < self.htlc_min:
+            raise ValueError("need 0 <= htlc_min <= htlc_max")
+
+    def fee(self, amount: float) -> float:
+        if amount <= 0:
+            return 0.0
+        return self.base_fee + self.fee_rate * amount
+
+    def marginal_rate(self, amount: float) -> float:
+        return self.fee_rate
+
+    def admits(self, amount: float, delivered: float) -> bool:
+        """Feasibility of forwarding ``amount`` for a ``delivered`` payment.
+
+        ``htlc_max`` is checked against the hop amount actually carried;
+        ``htlc_min`` is checked against the *delivered* amount (the
+        routing target), not the hop amount — a deliberate deviation
+        from BOLT #7 that keeps feasibility monotone in the hop amount,
+        which is what makes Dijkstra label dominance exact (see
+        ``docs/ARCHITECTURE.md`` and ``tests/property/test_fee_oracle``).
+        """
+        return delivered >= self.htlc_min and amount <= self.htlc_max
+
+
+#: The policy of a channel direction with no gossip record: free,
+#: unconstrained forwarding.  Used for slots opened by churn after the
+#: last policy assignment.
+DEFAULT_POLICY = ChannelPolicy()
+
+
+def hop_amounts(
+    policies: list[FeePolicy], amount: float
+) -> list[float]:
+    """Per-edge amounts delivering ``amount`` along a path (BOLT #7).
+
+    ``policies[i]`` is the policy of the path's ``i``-th directed edge.
+    Working backwards from the receiver, every intermediate node keeps
+    its own fee before forwarding, so edge ``i`` must carry the amount
+    arriving at node ``i+1``; the sender's own edge adds no fee.  The
+    returned list has one entry per edge; ``amounts[0] - amount`` is
+    the total fee the sender pays.  The accumulation order (receiver to
+    sender) is the canonical one — the routing kernels and the
+    brute-force oracle both follow it, which is what makes their costs
+    bit-identical.
+    """
+    amounts = [0.0] * len(policies)
+    a = amount
+    for i in range(len(policies) - 1, 0, -1):
+        amounts[i] = a
+        a = a + policies[i].fee(a)
+    if policies:
+        amounts[0] = a
+    return amounts
+
+
+def fee_breakdown(
+    path: list, policies: list[FeePolicy], amount: float
+) -> dict:
+    """Per-node fee revenue for delivering ``amount`` along ``path``.
+
+    Node ``path[i]`` (intermediate) pockets the difference between what
+    arrives on its inbound edge and what it forwards — zero entries are
+    omitted.  The sender and receiver never earn.
+    """
+    amounts = hop_amounts(policies, amount)
+    revenue: dict = {}
+    for i in range(1, len(amounts)):
+        earned = amounts[i - 1] - amounts[i]
+        if earned > 0:
+            revenue[path[i]] = revenue.get(path[i], 0.0) + earned
+    return revenue
+
+
 def sample_paper_fee(rng: random.Random) -> LinearFee:
     """Draw one channel fee with the paper's Fig-9 mix.
 

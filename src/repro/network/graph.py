@@ -29,7 +29,16 @@ from repro.errors import (
 from repro.network.channel import Channel, NodeId
 from repro.network.compact import CompactTopology
 from repro.network import shared as _shared_topology
-from repro.network.fees import FeePolicy, LinearFee, ZeroFee, sample_paper_fee
+from repro.network.fees import (
+    DEFAULT_POLICY,
+    ChannelPolicy,
+    FeePolicy,
+    LinearFee,
+    ZeroFee,
+    fee_breakdown,
+    hop_amounts,
+    sample_paper_fee,
+)
 
 _EPS = 1e-9
 
@@ -95,6 +104,19 @@ class ChannelGraph:
         #: application order — the delta stream :meth:`compact` replays.
         #: Only populated while a snapshot exists to replay against.
         self._pending_deltas: list[tuple] = []
+        #: Bumped by :meth:`set_channel_policy`; zero means no
+        #: :class:`ChannelPolicy` was ever assigned, and every fee- and
+        #: policy-aware branch in the library stays dormant (the
+        #: golden-pinned legacy behaviour).
+        self._policy_version = 0
+        #: Per-directed-hop volume settled since the last fee-controller
+        #: tick — the observed load a fee-market dynamics model prices
+        #: against.  Only populated on policy-aware graphs.
+        self.traffic: dict[tuple[NodeId, NodeId], float] = {}
+        #: Optional fee-market controller (see
+        #: :mod:`repro.scenarios.catalog`); invoked by
+        #: :class:`repro.network.dynamics.GossipSchedule` at gossip ticks.
+        self.fee_controller = None
 
     # ------------------------------------------------------------ topology
 
@@ -219,6 +241,7 @@ class ChannelGraph:
         """
         cached = self._compact
         if cached is not None and cached.version == self._topology_version:
+            self._refresh_policies(cached)
             return cached
         pending = self._pending_deltas
         if (
@@ -246,7 +269,24 @@ class ChannelGraph:
                 )
         self._pending_deltas = []
         self._compact = snapshot
+        self._refresh_policies(snapshot)
         return snapshot
+
+    def _refresh_policies(self, snapshot: CompactTopology) -> None:
+        """(Re)install per-slot policy arrays when fee gossip moved.
+
+        O(E), but only runs on policy-aware graphs and only when
+        :attr:`policy_version` advanced since the snapshot's arrays were
+        built — i.e. once per fee-gossip epoch.  Delta-derived and
+        shared-memory-adopted snapshots rebuild here too (open deltas
+        carry no policy payload, and the shared export is policy-free).
+        """
+        if self._policy_version and (
+            snapshot.policy_version != self._policy_version
+        ):
+            snapshot.install_policies(
+                self.channel_policy, version=self._policy_version
+            )
 
     # ------------------------------------------------------------ balances
 
@@ -269,6 +309,19 @@ class ChannelGraph:
     def settle_hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
         """Convert a prior hold on the directed edge into a transfer."""
         self.channel(src, dst).settle_hold(src, dst, amount)
+        if self._policy_version:
+            self.note_traffic(src, dst, amount)
+
+    def note_traffic(self, src: NodeId, dst: NodeId, amount: float) -> None:
+        """Accrue settled volume for the fee controller's load signal.
+
+        Only populated on policy-aware graphs (fee-free runs never touch
+        the dict); a fee-market controller reads and clears
+        :attr:`traffic` at each gossip tick.
+        """
+        if self._policy_version and amount > 0:
+            key = (src, dst)
+            self.traffic[key] = self.traffic.get(key, 0.0) + amount
 
     def release_hold(self, src: NodeId, dst: NodeId, amount: float) -> None:
         """Cancel a prior hold on the directed edge, freeing the funds."""
@@ -296,11 +349,82 @@ class ChannelGraph:
     def fee_policy(self, src: NodeId, dst: NodeId) -> FeePolicy:
         return self.channel(src, dst).fee_policy(src, dst)
 
+    # ------------------------------------------------------- BOLT policies
+
+    @property
+    def policy_aware(self) -> bool:
+        """True once any :class:`ChannelPolicy` was assigned.
+
+        Gates every fee-aware branch (compounded fees, per-hop escrow
+        amounts, kernel policy arrays): graphs that never saw a policy
+        behave byte-identically to the pre-policy library.
+        """
+        return self._policy_version > 0
+
+    @property
+    def policy_version(self) -> int:
+        """Monotone counter of policy assignments (fee gossip epochs)."""
+        return self._policy_version
+
+    def set_channel_policy(
+        self, src: NodeId, dst: NodeId, policy: ChannelPolicy
+    ) -> None:
+        """Assign the ``src -> dst`` direction's BOLT #7 policy record.
+
+        The sanctioned mutation point: it bumps :attr:`policy_version`
+        so cached :class:`CompactTopology` snapshots refresh their
+        per-slot policy arrays on the next :meth:`compact` call.
+        """
+        if not isinstance(policy, ChannelPolicy):
+            raise ChannelError(
+                f"set_channel_policy needs a ChannelPolicy, got {policy!r}"
+            )
+        self.channel(src, dst).set_fee_policy(src, dst, policy)
+        self._policy_version += 1
+
+    def channel_policy(self, src: NodeId, dst: NodeId) -> ChannelPolicy:
+        """The direction's policy record (free/unbounded when unset).
+
+        Legacy :class:`FeePolicy` assignments (``assign_paper_fees``)
+        are *not* policy records: on a policy-aware graph they read as
+        :data:`DEFAULT_POLICY`, keeping the two fee systems disjoint.
+        """
+        policy = self.channel(src, dst).fee_policy(src, dst)
+        return policy if isinstance(policy, ChannelPolicy) else DEFAULT_POLICY
+
+    def path_policies(self, path: Path) -> list[ChannelPolicy]:
+        """Per-edge policy records along ``path`` (defaults where unset)."""
+        return [
+            self.channel_policy(u, v) for u, v in zip(path, path[1:])
+        ]
+
+    def path_hop_amounts(self, path: Path, amount: float) -> list[float]:
+        """Per-edge amounts delivering ``amount`` (BOLT fee recursion)."""
+        return hop_amounts(self.path_policies(path), amount)
+
     def path_fee(self, path: Path, amount: float) -> float:
-        """Total fee for routing ``amount`` over ``path``."""
+        """Total fee for routing ``amount`` over ``path``.
+
+        Policy-aware graphs compound per BOLT #7 (every hop forwards
+        ``amount + downstream_fees``); legacy graphs keep the paper's
+        flat per-hop sum, byte-identical to the pre-policy library.
+        """
+        if self.policy_aware:
+            amounts = self.path_hop_amounts(path, amount)
+            return amounts[0] - amount if amounts else 0.0
         return sum(
             self.fee_policy(u, v).fee(amount) for u, v in zip(path, path[1:])
         )
+
+    def path_fee_breakdown(self, path: Path, amount: float) -> dict:
+        """Per-node fee revenue for delivering ``amount`` along ``path``.
+
+        Empty on policy-free graphs (nobody earns).  The engines sum
+        this over settled payments to report ``hub_revenue``.
+        """
+        if not self.policy_aware:
+            return {}
+        return fee_breakdown(list(path), self.path_policies(path), amount)
 
     def path_bottleneck(self, path: Path) -> float:
         """Minimum directional balance along ``path`` (its effective capacity)."""
@@ -317,13 +441,28 @@ class ChannelGraph:
         capacity constraint of optimization program (1).  Either all
         transfers apply or none do (the AMP atomicity assumption of §3.1).
         """
+        policy_aware = self.policy_aware
         net: dict[tuple[NodeId, NodeId], float] = {}
+        hop_loads: list[tuple[NodeId, NodeId, float]] = []
         for transfer in transfers:
-            for u, v in transfer.hops():
+            # Policy-aware graphs escrow the BOLT per-hop amounts: every
+            # hop carries the delivered amount plus all downstream fees,
+            # which intermediate nodes pocket on settlement.
+            amounts = (
+                self.path_hop_amounts(list(transfer.path), transfer.amount)
+                if policy_aware
+                else None
+            )
+            for index, (u, v) in enumerate(transfer.hops()):
                 if not self.has_channel(u, v):
                     raise NoChannelError(u, v)
                 key, sign = _canonical_direction(u, v)
-                net[key] = net.get(key, 0.0) + sign * transfer.amount
+                hop_amount = (
+                    amounts[index] if amounts is not None else transfer.amount
+                )
+                net[key] = net.get(key, 0.0) + sign * hop_amount
+                if policy_aware:
+                    hop_loads.append((u, v, hop_amount))
 
         # Feasibility check against current balances, before touching state.
         for (u, v), flow in net.items():
@@ -338,6 +477,8 @@ class ChannelGraph:
                 self.channel(u, v).transfer(u, v, flow)
             elif flow < -_EPS:
                 self.channel(u, v).transfer(v, u, -flow)
+        for u, v, hop_amount in hop_loads:
+            self.note_traffic(u, v, hop_amount)
 
     def execute_single(self, path: Path, amount: float) -> None:
         """Convenience wrapper: atomically send ``amount`` along one path."""
@@ -384,6 +525,11 @@ class ChannelGraph:
                 fee_ab=channel.fee_ab,
                 fee_ba=channel.fee_ba,
             )
+        # Policy records travel with the fee policies above; the version
+        # counter (and any fee controller) must follow so the clone stays
+        # policy-aware.  Per-tick traffic deliberately starts empty.
+        clone._policy_version = self._policy_version
+        clone.fee_controller = self.fee_controller
         return clone
 
     # ------------------------------------------------------------ interop

@@ -230,19 +230,28 @@ class PaymentSession:
         self._check_open()
         if amount <= 0:
             return False
+        if self._graph.policy_aware:
+            # BOLT escrow: hop ``i`` locks the delivered amount plus
+            # every downstream hop's fee, so intermediaries are paid on
+            # settle.  ``amount`` stays the *delivered* amount in the
+            # transfer record — fee accounting reads ``path_fee``.
+            hop_amounts = self._graph.path_hop_amounts(list(path), amount)
+        else:
+            hop_amounts = None
         placed: list[_StagedHop] = []
         self._counters.payment_attempts += 1
-        for u, v in zip(path, path[1:]):
+        for index, (u, v) in enumerate(zip(path, path[1:])):
             self._counters.payment_messages += 1
+            hop_amount = amount if hop_amounts is None else hop_amounts[index]
             try:
-                self._graph.channel(u, v).hold(u, v, amount)
+                self._graph.channel(u, v).hold(u, v, hop_amount)
             except (InsufficientBalanceError, NoChannelError):
                 for hop in reversed(placed):
                     self._graph.channel(hop.src, hop.dst).release_hold(
                         hop.src, hop.dst, hop.amount
                     )
                 return False
-            placed.append(_StagedHop(u, v, amount))
+            placed.append(_StagedHop(u, v, hop_amount))
         self._staged.extend(placed)
         self._transfers.append((tuple(path), amount))
         return True
@@ -276,9 +285,10 @@ class PaymentSession:
         # __exit__ (the exception still propagates).
         self._closed = True
         for hop in self._staged:
-            self._graph.channel(hop.src, hop.dst).settle_hold(
-                hop.src, hop.dst, hop.amount
-            )
+            # Through the graph, not the channel: the graph-level settle
+            # feeds the fee controller's traffic signal (a no-op on
+            # policy-free graphs).
+            self._graph.settle_hold(hop.src, hop.dst, hop.amount)
         self._counters.payment_messages += len(self._staged)
 
     def abort(self) -> None:

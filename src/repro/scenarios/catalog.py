@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro.network.channel import NodeId
 from repro.network.dynamics import CHURN_PRESETS, ChannelEvent, ChurnPreset, churn_events_for
+from repro.network.feemarket import FeeMarketController, assign_market_policies
 from repro.network.graph import ChannelGraph
 from repro.network.topology import (
     barabasi_albert_edges,
@@ -491,6 +492,81 @@ register_dynamics(
 )
 
 
+def _build_fee_market(
+    rng: random.Random,
+    graph: ChannelGraph,
+    duration_seconds: float,
+    initial_rate: float,
+    base_fee: float,
+    paper_mix: int,
+    hubs: int,
+    min_rate: float,
+    max_rate: float,
+    sensitivity: float,
+    decay: float,
+) -> list[ChannelEvent]:
+    """BOLT #7 fee market: priced directions plus a load-responsive
+    repricing controller ticked on the gossip cadence.
+
+    Unlike churn, this dynamics model emits no on-chain events — it
+    installs :class:`~repro.network.fees.ChannelPolicy` records on every
+    channel direction (flipping the run into policy-aware, fee-compounded
+    routing) and attaches a
+    :class:`~repro.network.feemarket.FeeMarketController` to the graph so
+    :class:`~repro.network.dynamics.GossipSchedule` reprices from observed
+    load between gossip periods.
+    """
+    assign_market_policies(
+        graph,
+        rng,
+        base_fee=base_fee,
+        initial_rate=initial_rate,
+        paper_mix=bool(paper_mix),
+    )
+    graph.fee_controller = FeeMarketController(
+        hubs=hubs,
+        min_rate=min_rate,
+        max_rate=max_rate,
+        sensitivity=sensitivity,
+        decay=decay,
+    )
+    return []
+
+
+register_dynamics(
+    "fee-market",
+    _build_fee_market,
+    "BOLT #7 channel policies with load-responsive fee repricing: every "
+    "direction is priced, and the hubs highest-degree nodes (0 = all) "
+    "reprice each gossip period by rate*(decay + sensitivity*utilization), "
+    "clamped to [min_rate, max_rate]",
+    params=(
+        ParamSpec(
+            "initial_rate", float, 0.005, "starting proportional fee rate"
+        ),
+        ParamSpec("base_fee", float, 0.0, "flat per-hop base fee"),
+        ParamSpec(
+            "paper_mix",
+            int,
+            0,
+            "1 = draw initial rates with the Fig-9 two-band mix "
+            "(90% in [0.1%,1%), 10% in [1%,10%)) instead of initial_rate",
+        ),
+        ParamSpec(
+            "hubs", int, 0, "number of repricing nodes by degree (0 = all)"
+        ),
+        ParamSpec("min_rate", float, 0.001, "repricing floor"),
+        ParamSpec("max_rate", float, 0.10, "repricing ceiling"),
+        ParamSpec(
+            "sensitivity", float, 4.0, "rate multiplier per unit utilization"
+        ),
+        ParamSpec(
+            "decay", float, 0.9, "idle-channel rate decay factor per tick"
+        ),
+    ),
+)
+
+
 # --------------------------------------------------------------------------
 # Fault models (docs/RESILIENCE.md)
 # --------------------------------------------------------------------------
@@ -869,5 +945,57 @@ register_scenario(
     topology="ripple-synthetic",
     workload="ripple-trace",
     faults="jamming",
+    eval_matrix=EvalMatrix(report=True),
+)
+
+# ---- Fee-market scenarios (BOLT #7 policies, docs/SCENARIOS.md) ----
+
+register_scenario(
+    "fee-market",
+    "benchmark-scale Ripple network where every channel direction "
+    "charges BOLT #7 fees and every node reprices from observed load "
+    "each gossip period: the dynamic revenue-vs-success study behind "
+    "the fee tables (fee_paid_total, fee_p50, hub_revenue)",
+    topology="ripple-synthetic",
+    workload="ripple-trace",
+    dynamics="fee-market",
+    figure="Fig 9 (§5.1), made dynamic",
+    eval_matrix=EvalMatrix(report=True),
+)
+
+register_scenario(
+    "hub-pricing",
+    "bundled Lightning snapshot where only the 6 highest-degree hubs "
+    "reprice — aggressively (sensitivity 8) — while the rest of the "
+    "network keeps cheap static fees: measures how much traffic and "
+    "revenue monopolistic hubs can capture from each scheme",
+    topology="lightning-snapshot",
+    workload="lightning-trace",
+    dynamics="fee-market",
+    dynamics_params={
+        "hubs": 6,
+        "initial_rate": 0.002,
+        "sensitivity": 8.0,
+        "max_rate": 0.10,
+    },
+    figure="Fig 9 (§5.1), hub variant",
+    eval_matrix=EvalMatrix(report=True),
+)
+
+register_scenario(
+    "ripple-fees",
+    "bundled Ripple snapshot priced with the paper's Fig-9 two-band fee "
+    "mix (90% of directions in [0.1%,1%), 10% in [1%,10%)) under gentle "
+    "repricing: the closest dynamic analogue of the paper's static fee "
+    "experiment",
+    topology="ripple-snapshot",
+    workload="ripple-trace",
+    dynamics="fee-market",
+    dynamics_params={
+        "paper_mix": 1,
+        "sensitivity": 1.0,
+        "decay": 0.97,
+    },
+    figure="Fig 9 (§5.1)",
     eval_matrix=EvalMatrix(report=True),
 )

@@ -18,10 +18,21 @@ CSV (header required, extra columns ignored):
 * **Ripple-style**: ``src,dst,balance_src,balance_dst`` — per-direction
   credit balances, kept as given.
 
+Either CSV schema may add the optional fee columns ``fee_base_src``,
+``fee_rate_src``, ``fee_base_dst``, ``fee_rate_dst`` (empty cells mean
+0): ``*_src`` prices the ``src -> dst`` direction, ``*_dst`` the
+reverse.  A non-default policy on any direction flips the loaded graph
+into policy-aware (BOLT-compounded) routing; all-zero fee cells load
+exactly like a fee-free snapshot, so existing files and their results
+are untouched.
+
 JSON: an object ``{"format": "repro-snapshot-v1", "channels": [...]}``
 where each channel object carries ``src``/``dst`` plus either
 ``capacity`` or ``balance_src``/``balance_dst`` (the two CSV schemas,
-row by row).
+row by row).  A channel object may also carry ``policy_src`` /
+``policy_dst`` dicts with any of the :class:`ChannelPolicy` fields
+(``base_fee``, ``fee_rate``, ``cltv_delta``, ``htlc_min``,
+``htlc_max``) for the corresponding direction.
 
 Node ids may mix integers and numeric strings across rows (crawls often
 do); digit-only ids are canonicalized to ``int`` so ``7`` and ``"7"``
@@ -36,6 +47,7 @@ import json
 from pathlib import Path
 
 from repro.network.channel import NodeId
+from repro.network.fees import DEFAULT_POLICY, ChannelPolicy
 from repro.network.graph import ChannelGraph
 from repro.scenarios.registry import ScenarioError
 
@@ -104,9 +116,19 @@ class _SnapshotBuilder:
         self._source = source
         #: canonical (min, max) key -> [a, b, balance_a, balance_b]
         self._channels: dict[tuple, list] = {}
+        #: directed (src, dst) -> ChannelPolicy; first occurrence wins
+        #: under "merge"/"skip" (summing fee schedules is meaningless).
+        self._policies: dict[tuple, ChannelPolicy] = {}
 
     def add(
-        self, a: NodeId, b: NodeId, balance_a: float, balance_b: float, where: str
+        self,
+        a: NodeId,
+        b: NodeId,
+        balance_a: float,
+        balance_b: float,
+        where: str,
+        policy_ab: ChannelPolicy | None = None,
+        policy_ba: ChannelPolicy | None = None,
     ) -> None:
         if a == b:
             raise SnapshotError(f"{where}: self-channel at node {a!r}")
@@ -114,6 +136,10 @@ class _SnapshotBuilder:
         existing = self._channels.get(key)
         if existing is None:
             self._channels[key] = [a, b, balance_a, balance_b]
+            if policy_ab is not None:
+                self._policies[(a, b)] = policy_ab
+            if policy_ba is not None:
+                self._policies[(b, a)] = policy_ba
             return
         if self._on_duplicate == "error":
             raise SnapshotError(f"{where}: duplicate channel {a!r}<->{b!r}")
@@ -132,7 +158,61 @@ class _SnapshotBuilder:
         result = ChannelGraph()
         for a, b, balance_a, balance_b in self._channels.values():
             result.add_channel(a, b, balance_a, balance_b)
+        for (src, dst), policy in self._policies.items():
+            result.set_channel_policy(src, dst, policy)
         return result
+
+
+#: Optional CSV fee columns; ``*_src`` prices src -> dst, ``*_dst`` the
+#: reverse direction.
+_FEE_COLUMNS = ("fee_base_src", "fee_rate_src", "fee_base_dst", "fee_rate_dst")
+
+#: Keys accepted in a JSON ``policy_src``/``policy_dst`` object.
+_POLICY_KEYS = ("base_fee", "fee_rate", "cltv_delta", "htlc_min", "htlc_max")
+
+
+def _parse_fee(row: dict, column: str, where: str) -> float:
+    """One optional fee cell: missing or empty means 0 (unpriced)."""
+    raw = row.get(column)
+    if raw is None or (isinstance(raw, str) and not raw.strip()):
+        return 0.0
+    return _parse_balance(raw, column, where)
+
+
+def _row_fee_policies(
+    row: dict, where: str
+) -> tuple[ChannelPolicy | None, ChannelPolicy | None]:
+    """The optional per-direction policies of one CSV row.
+
+    All-zero directions return ``None`` so fee-free rows never flip the
+    graph into policy-aware mode.
+    """
+    policies = []
+    for suffix in ("src", "dst"):
+        base = _parse_fee(row, f"fee_base_{suffix}", where)
+        rate = _parse_fee(row, f"fee_rate_{suffix}", where)
+        policy = ChannelPolicy(base_fee=base, fee_rate=rate)
+        policies.append(None if policy == DEFAULT_POLICY else policy)
+    return policies[0], policies[1]
+
+
+def _policy_from_object(entry: object, where: str) -> ChannelPolicy | None:
+    """Validate one JSON ``policy_src``/``policy_dst`` object."""
+    if entry is None:
+        return None
+    if not isinstance(entry, dict):
+        raise SnapshotError(f"{where}: policy must be an object")
+    unknown = sorted(set(entry) - set(_POLICY_KEYS))
+    if unknown:
+        raise SnapshotError(
+            f"{where}: unknown policy keys {unknown} "
+            f"(accepted: {', '.join(_POLICY_KEYS)})"
+        )
+    try:
+        policy = ChannelPolicy(**entry)
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"{where}: invalid policy ({exc})") from None
+    return None if policy == DEFAULT_POLICY else policy
 
 
 def _row_channel(
@@ -183,13 +263,22 @@ def load_snapshot_csv(
         with open(path, newline="", encoding="utf-8") as handle:
             reader = csv.DictReader(handle)
             has_capacity = _schema_of(reader.fieldnames, path.name)
+            has_fees = bool(set(reader.fieldnames or ()) & set(_FEE_COLUMNS))
             for line_number, row in enumerate(reader, start=2):
                 where = f"{path.name}:{line_number}"
                 if None in row:
                     raise SnapshotError(
                         f"{where}: more cells than header columns"
                     )
-                builder.add(*_row_channel(row, has_capacity, where), where)
+                policy_ab = policy_ba = None
+                if has_fees:
+                    policy_ab, policy_ba = _row_fee_policies(row, where)
+                builder.add(
+                    *_row_channel(row, has_capacity, where),
+                    where,
+                    policy_ab=policy_ab,
+                    policy_ba=policy_ba,
+                )
     except OSError as exc:
         raise SnapshotError(f"{path}: cannot read snapshot ({exc})") from exc
     return builder.graph()
@@ -234,7 +323,12 @@ def load_snapshot_json(
             raise SnapshotError(
                 f"{where}: need 'capacity' or 'balance_src'/'balance_dst'"
             )
-        builder.add(*_row_channel(entry, has_capacity, where), where)
+        builder.add(
+            *_row_channel(entry, has_capacity, where),
+            where,
+            policy_ab=_policy_from_object(entry.get("policy_src"), where),
+            policy_ba=_policy_from_object(entry.get("policy_dst"), where),
+        )
     return builder.graph()
 
 

@@ -71,7 +71,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.errors import InsufficientBalanceError, NoChannelError, ProtocolError
 from repro.network.channel import NodeId
@@ -84,7 +84,7 @@ from repro.sim.faults import FaultPlan, resilience_metrics
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView, PaymentSession
 from repro.protocol.events import EventQueue
-from repro.sim.metrics import SimulationResult, TransactionRecord
+from repro.sim.metrics import SimulationResult, TransactionRecord, fee_metrics
 from repro.traces.workload import Transaction, Workload
 
 #: One held hop: escrowed ``amount`` in the ``src -> dst`` direction.
@@ -299,16 +299,28 @@ class ConcurrentNetworkView(NetworkView):
         """
         placed: list[HeldHop] = []
         self.counters.payment_attempts += 1
+        policy_aware = self._graph.policy_aware
         for path, amount in transfers:
-            for u, v in zip(path, path[1:]):
+            # BOLT escrow: each hop locks the delivered amount plus all
+            # downstream fees (no-op list of equal amounts without
+            # policies — byte-identical to the pre-policy engine).
+            hop_amounts = (
+                self._graph.path_hop_amounts(list(path), amount)
+                if policy_aware
+                else None
+            )
+            for index, (u, v) in enumerate(zip(path, path[1:])):
                 self.counters.payment_messages += 1
+                hop_amount = (
+                    amount if hop_amounts is None else hop_amounts[index]
+                )
                 try:
-                    self._graph.hold(u, v, amount)
+                    self._graph.hold(u, v, hop_amount)
                 except (InsufficientBalanceError, NoChannelError):
                     for uu, vv, held in reversed(placed):
                         self._graph.release_hold(uu, vv, held)
                     return False
-                placed.append((u, v, amount))
+                placed.append((u, v, hop_amount))
         self._ledger.add(
             placed, [(tuple(path), amount) for path, amount in transfers]
         )
@@ -343,6 +355,10 @@ class _InFlight:
     pending: _PendingPayment
     holds: list[HeldHop]
     disrupted: bool = False
+    #: Per-node fee revenue of this payment, priced at reservation time
+    #: (the policies the escrow was sized under — a fee-controller tick
+    #: between reserve and settle must not reprice in-flight holds).
+    revenue: dict = field(default_factory=dict)
 
 
 class _EscrowRegistry:
@@ -452,6 +468,8 @@ def run_concurrent_simulation(
     router = router_factory(view, workload, run_rng)
     threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
     registry = _EscrowRegistry(working_graph)
+    policy_aware = working_graph.policy_aware
+    revenue_by_node: dict[NodeId, float] = {}
 
     scaled_churn: list[ChannelEvent] = [
         replace(event, time=event.time / config.load) for event in (events or ())
@@ -510,6 +528,8 @@ def run_concurrent_simulation(
             return
         for u, v, amount in flight.holds:
             working_graph.settle_hold(u, v, amount)
+        for node, earned in flight.revenue.items():
+            revenue_by_node[node] = revenue_by_node.get(node, 0.0) + earned
         record(
             flight.pending,
             success=True,
@@ -546,6 +566,14 @@ def run_concurrent_simulation(
         )
         if outcome.success:
             flight = _InFlight(pending=pending, holds=holds)
+            if policy_aware:
+                for path, amount in transfers or outcome.transfers:
+                    for node, earned in working_graph.path_fee_breakdown(
+                        list(path), amount
+                    ).items():
+                        flight.revenue[node] = (
+                            flight.revenue.get(node, 0.0) + earned
+                        )
             registry.register(flight)
             # The lock pass reaches the receiver after hop_latency per
             # hop of the longest path; the settle pass walks back.
@@ -605,6 +633,8 @@ def run_concurrent_simulation(
     result = SimulationResult(scheme=router.name, engine="concurrent")
     for transaction in workload:
         result.records.append(records[transaction.txid])
+    if policy_aware:
+        result.fees = fee_metrics(result.records, revenue_by_node)
     if faults is not None:
         schedule.finalize(queue.now)
         horizon = workload[len(workload) - 1].time if len(workload) else 0.0

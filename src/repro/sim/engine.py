@@ -37,10 +37,23 @@ from collections.abc import Callable
 from repro.core.base import Router
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView
-from repro.sim.metrics import SimulationResult, TransactionRecord
+from repro.sim.metrics import SimulationResult, TransactionRecord, fee_metrics
 from repro.traces.workload import Workload
 
 RouterFactory = Callable[[NetworkView, Workload, random.Random], Router]
+
+
+def accrue_revenue(graph, outcome, revenue_by_node: dict) -> None:
+    """Fold one successful payment's per-node fees into the running sum.
+
+    Shared by all engines (sequential, dynamic, concurrent) so
+    ``hub_revenue`` means the same thing everywhere.
+    """
+    for path, amount in outcome.transfers:
+        for node, earned in graph.path_fee_breakdown(
+            list(path), amount
+        ).items():
+            revenue_by_node[node] = revenue_by_node.get(node, 0.0) + earned
 
 
 def run_simulation(
@@ -65,10 +78,14 @@ def run_simulation(
         reference_mice_fraction
     )
     result = SimulationResult(scheme=router.name)
+    policy_aware = working_graph.policy_aware
+    revenue_by_node: dict = {}
     for transaction in workload:
         probes_before = view.counters.probe_messages
         payments_before = view.counters.payment_messages
         outcome = router.route(transaction)
+        if policy_aware and outcome.success:
+            accrue_revenue(working_graph, outcome, revenue_by_node)
         result.records.append(
             TransactionRecord(
                 txid=transaction.txid,
@@ -82,4 +99,6 @@ def run_simulation(
                 paths_used=len(outcome.transfers),
             )
         )
+    if policy_aware:
+        result.fees = fee_metrics(result.records, revenue_by_node)
     return result

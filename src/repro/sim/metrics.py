@@ -60,6 +60,35 @@ RESILIENCE_METRIC_FIELDS: tuple[str, ...] = (
     "adversary_escrow",
 )
 
+#: Fee-market fields recorded only for policy-aware runs (BOLT #7
+#: channel policies assigned — see :mod:`repro.network.fees`).  Appended
+#: after the resilience set, so fee-free records keep their exact
+#: pre-policy shape and store digests.
+FEE_METRIC_FIELDS: tuple[str, ...] = (
+    "fee_paid_total",
+    "fee_p50",
+    "hub_revenue",
+)
+
+
+def fee_metrics(
+    records: Sequence["TransactionRecord"],
+    revenue_by_node: Mapping[object, float],
+) -> dict[str, float]:
+    """The :data:`FEE_METRIC_FIELDS` values for one policy-aware run.
+
+    ``revenue_by_node`` accumulates each intermediary's pocketed fees
+    (:func:`repro.network.fees.fee_breakdown` summed over settled
+    payments); ``hub_revenue`` reports the best-earning node — the
+    fee-market scenarios' revenue-vs-success tradeoff axis.
+    """
+    fees = [r.fee for r in records if r.success]
+    return {
+        "fee_paid_total": float(sum(fees)),
+        "fee_p50": float(percentile(fees, 0.5)) if fees else 0.0,
+        "hub_revenue": float(max(revenue_by_node.values(), default=0.0)),
+    }
+
 
 @dataclass(frozen=True)
 class TransactionRecord:
@@ -94,7 +123,9 @@ class SimulationResult:
     or ``"concurrent"``); it selects which field set :meth:`to_record`
     persists.  ``resilience`` is populated (with exactly
     :data:`RESILIENCE_METRIC_FIELDS`) only when the run injected a
-    fault plan; it stays empty — and invisible to :meth:`to_record` —
+    fault plan; ``fees`` (exactly :data:`FEE_METRIC_FIELDS`, see
+    :func:`fee_metrics`) only when the run's graph carried BOLT channel
+    policies.  Both stay empty — and invisible to :meth:`to_record` —
     otherwise.
     """
 
@@ -102,6 +133,7 @@ class SimulationResult:
     records: list[TransactionRecord] = field(default_factory=list)
     engine: str = "sequential"
     resilience: dict = field(default_factory=dict)
+    fees: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------- scalars
 
@@ -210,6 +242,23 @@ class SimulationResult:
         """Fund-seconds of capacity held by adversary jams."""
         return float(self.resilience.get("adversary_escrow", 0.0))
 
+    # ------------------------------------------------------ fee market
+
+    @property
+    def fee_paid_total(self) -> float:
+        """Total fees paid by senders of successful payments."""
+        return float(self.fees.get("fee_paid_total", 0.0))
+
+    @property
+    def fee_p50(self) -> float:
+        """Median fee across successful payments (0.0 without policies)."""
+        return float(self.fees.get("fee_p50", 0.0))
+
+    @property
+    def hub_revenue(self) -> float:
+        """Fees pocketed by the best-earning intermediary node."""
+        return float(self.fees.get("hub_revenue", 0.0))
+
     # ------------------------------------------------------ class breakdown
 
     def _class_records(self, elephant: bool) -> list[TransactionRecord]:
@@ -268,13 +317,17 @@ class SimulationResult:
         sequential records are unchanged from the pre-concurrent format.
         Runs with an injected fault plan append
         :data:`RESILIENCE_METRIC_FIELDS`; fault-free records are
-        byte-identical to the pre-faults format.
+        byte-identical to the pre-faults format.  Policy-aware runs
+        append :data:`FEE_METRIC_FIELDS` last; policy-free records are
+        byte-identical to the pre-policy format.
         """
         names = METRIC_FIELDS
         if self.engine == "concurrent":
             names = METRIC_FIELDS + CONCURRENT_METRIC_FIELDS
         if self.resilience:
             names = names + RESILIENCE_METRIC_FIELDS
+        if self.fees:
+            names = names + FEE_METRIC_FIELDS
         return {name: float(getattr(self, name)) for name in names}
 
 
@@ -312,6 +365,9 @@ class StoredResult:
     resilience_delta: float = 0.0
     recovery_half_life: float = 0.0
     adversary_escrow: float = 0.0
+    fee_paid_total: float = 0.0
+    fee_p50: float = 0.0
+    hub_revenue: float = 0.0
 
     @classmethod
     def from_record(
@@ -319,9 +375,10 @@ class StoredResult:
     ) -> "StoredResult":
         """Rehydrate from a store record's ``metrics`` mapping.
 
-        The concurrency and resilience fields default to zero when
-        absent, so records written by sequential or fault-free runs
-        (which do not persist them) rehydrate unchanged.
+        The concurrency, resilience, and fee fields default to zero
+        when absent, so records written by sequential, fault-free, or
+        policy-free runs (which do not persist them) rehydrate
+        unchanged.
         """
         return cls(
             scheme=scheme,
@@ -330,6 +387,7 @@ class StoredResult:
                 name: float(metrics.get(name, 0.0))
                 for name in CONCURRENT_METRIC_FIELDS
                 + RESILIENCE_METRIC_FIELDS
+                + FEE_METRIC_FIELDS
             },
         )
 
@@ -363,6 +421,9 @@ class AveragedMetrics:
     resilience_delta: float = 0.0
     recovery_half_life: float = 0.0
     adversary_escrow: float = 0.0
+    fee_paid_total: float = 0.0
+    fee_p50: float = 0.0
+    hub_revenue: float = 0.0
 
     @classmethod
     def of(cls, results: Sequence[SimulationResult]) -> "AveragedMetrics":
@@ -409,4 +470,7 @@ class AveragedMetrics:
             resilience_delta=mean(r.resilience_delta for r in results),
             recovery_half_life=mean(r.recovery_half_life for r in results),
             adversary_escrow=mean(r.adversary_escrow for r in results),
+            fee_paid_total=mean(r.fee_paid_total for r in results),
+            fee_p50=mean(r.fee_p50 for r in results),
+            hub_revenue=mean(r.hub_revenue for r in results),
         )

@@ -250,7 +250,14 @@ def _single_run(
                 reference_mice_fraction=reference_mice_fraction,
                 faults=faults,
             )
-        elif events or faults is not None:
+        elif (
+            events
+            or faults is not None
+            or getattr(graph, "fee_controller", None) is not None
+        ):
+            # A fee-market scenario's dynamics builder emits no churn
+            # events — its "dynamics" is the controller attached to the
+            # graph, ticked by the dynamic engine's gossip schedule.
             results[name] = run_dynamic_simulation(
                 graph,
                 factory,

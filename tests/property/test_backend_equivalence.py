@@ -13,9 +13,14 @@ inputs, that it is observationally indistinguishable:
   *sequences*, above and below the bidirectional-kernel threshold;
 * Algorithm 1 (``find_elephant_paths``) returns identical paths, flows,
   probed capacities, and max-flow values;
+* the fee-weighted kernels (``cheapest_path``, ``yen_cheapest_paths``)
+  return the same paths and the same send totals *to the bit* on
+  randomly policy-priced graphs;
 * end-to-end ``run_comparison`` metrics are equal across
   {serial python, serial numpy, parallel numpy + shared memory} on both
-  the sequential and the concurrent engine.
+  the sequential and the concurrent engine — including a fee-market run
+  (policies + load-responsive repricing controller), where the fee
+  metrics themselves must agree.
 
 Everything is seeded stdlib :mod:`random`, so any failure replays from
 its seed.  The whole module is skipped when numpy is not installed —
@@ -36,10 +41,14 @@ from repro.network.compact import (
     numpy_available,
     set_default_backend,
 )
+from repro.network.feemarket import FeeMarketController, assign_market_policies
+from repro.network.fees import ChannelPolicy
 from repro.network.graph import ChannelGraph
 from repro.network.paths import (
     bfs_distances,
     bfs_shortest_path,
+    cheapest_path,
+    yen_cheapest_paths,
     yen_k_shortest_paths,
 )
 from repro.network.topology import (
@@ -211,6 +220,71 @@ class TestMaxflowBitIdentity:
         assert results["python"] == results["numpy"]
 
 
+def _price_random_directions(rng: random.Random, graph: ChannelGraph) -> None:
+    """Random BOLT policies (fees + htlc bounds) on most directions."""
+    for channel in graph.channels():
+        a, b = channel.endpoints()
+        for src, dst in ((a, b), (b, a)):
+            if rng.random() < 0.2:
+                continue
+            hmin = rng.choice([0.0, 0.0, 5.0, 20.0])
+            graph.set_channel_policy(
+                src,
+                dst,
+                ChannelPolicy(
+                    base_fee=rng.choice([0.0, 0.2, 1.0]),
+                    fee_rate=rng.choice([0.0, 0.002, 0.01, 0.08]),
+                    htlc_min=hmin,
+                    htlc_max=rng.choice([float("inf"), 400.0, max(hmin, 60.0)]),
+                ),
+            )
+
+
+def _priced_snapshots(
+    graph: ChannelGraph,
+) -> tuple[CompactTopology, CompactTopology]:
+    """The same priced adjacency, policy-installed under each backend."""
+    snapshots = _snapshots(graph)
+    for snapshot in snapshots:
+        snapshot.install_policies(
+            graph.channel_policy, version=graph.policy_version
+        )
+    return snapshots
+
+
+class TestFeeKernelBitIdentity:
+    """Fee-weighted kernels: same paths, bit-identical send totals."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("n_nodes", GRAPH_SIZES)
+    def test_cheapest_paths_identical(self, seed, n_nodes):
+        rng = random.Random(60_000 * n_nodes + seed)
+        graph = _random_graph(rng, n_nodes)
+        _price_random_directions(rng, graph)
+        py, np_ = _priced_snapshots(graph)
+        nodes = graph.nodes
+        for _ in range(12):
+            a, b = rng.sample(nodes, 2)
+            amount = rng.choice([1.0, 15.0, 55.0, 250.0])
+            assert cheapest_path(py, a, b, amount) == cheapest_path(
+                np_, a, b, amount
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("n_nodes", GRAPH_SIZES)
+    def test_yen_fee_paths_identical(self, seed, n_nodes):
+        rng = random.Random(70_000 * n_nodes + seed)
+        graph = _random_graph(rng, n_nodes)
+        _price_random_directions(rng, graph)
+        py, np_ = _priced_snapshots(graph)
+        for _ in range(4):
+            a, b = rng.sample(graph.nodes, 2)
+            amount = rng.choice([1.0, 15.0, 55.0])
+            assert yen_cheapest_paths(py, a, b, amount, 4) == (
+                yen_cheapest_paths(np_, a, b, amount, 4)
+            )
+
+
 class TestEndToEndIdentity:
     """run_comparison: serial python == serial numpy == parallel numpy."""
 
@@ -261,9 +335,33 @@ class TestEndToEndIdentity:
         # probed run; the fallback path must stay bit-identical too.
         self._compare(self._ba_scenario)
 
+    @staticmethod
+    def _fee_market_scenario(rng: random.Random):
+        # Priced directions + a repricing controller: the fee recursion,
+        # feasibility pruning, fee-aware escrow, and the gossip-tick
+        # repricing all sit on the compared path, and the fee metrics
+        # (fee_paid_total/fee_p50/hub_revenue) join the equality check
+        # through AveragedMetrics.
+        graph = _random_graph(rng, 80)
+        graph.scale_balances(5.0)
+        assign_market_policies(graph, rng, initial_rate=0.01, paper_mix=True)
+        graph.fee_controller = FeeMarketController(sensitivity=6.0)
+        workload = generate_ripple_workload(rng, graph.nodes, 50)
+        return graph, workload, []
+
+    def test_sequential_engine_fee_market(self):
+        self._compare(self._fee_market_scenario)
+
     def test_concurrent_engine_grid(self):
         self._compare(
             self._grid_scenario,
+            engine="concurrent",
+            engine_params={"load": 40.0},
+        )
+
+    def test_concurrent_engine_fee_market(self):
+        self._compare(
+            self._fee_market_scenario,
             engine="concurrent",
             engine_params={"load": 40.0},
         )

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.network.fees import ChannelPolicy
 from repro.scenarios.loaders import (
     SnapshotError,
     load_snapshot,
@@ -117,6 +118,163 @@ class TestDuplicateEdges:
         path = write(tmp_path, "dup.csv", self.BODY)
         with pytest.raises(SnapshotError, match="on_duplicate"):
             load_snapshot_csv(path, on_duplicate="overwrite")
+
+
+class TestCsvFeeColumns:
+    def test_src_suffix_prices_src_to_dst(self, tmp_path):
+        path = write(
+            tmp_path,
+            "fees.csv",
+            "src,dst,capacity,fee_base_src,fee_rate_src,"
+            "fee_base_dst,fee_rate_dst\n"
+            "a,b,100,0.5,0.01,0,0.002\n",
+        )
+        graph = load_snapshot_csv(path)
+        assert graph.policy_aware
+        assert graph.channel_policy("a", "b") == ChannelPolicy(
+            base_fee=0.5, fee_rate=0.01
+        )
+        assert graph.channel_policy("b", "a") == ChannelPolicy(
+            fee_rate=0.002
+        )
+
+    def test_empty_cells_leave_direction_unpriced(self, tmp_path):
+        path = write(
+            tmp_path,
+            "fees.csv",
+            "src,dst,capacity,fee_base_src,fee_rate_src\n"
+            "a,b,100,1.0,0.01\nb,c,40,,\n",
+        )
+        graph = load_snapshot_csv(path)
+        assert graph.channel_policy("a", "b").base_fee == 1.0
+        # Empty cells mean "no policy", not "policy of zero".
+        assert graph.channel_policy("b", "c") == ChannelPolicy()
+
+    def test_fee_free_file_stays_policy_free(self, tmp_path):
+        # No fee columns at all: the loaded graph must be byte-identical
+        # to the pre-fee loader's output — not policy-aware.
+        path = write(tmp_path, "t.csv", "src,dst,capacity\na,b,100\n")
+        graph = load_snapshot_csv(path)
+        assert not graph.policy_aware
+        # All-zero fee cells are equivalent to no fee columns.
+        zeroed = write(
+            tmp_path,
+            "z.csv",
+            "src,dst,capacity,fee_base_src,fee_rate_src\na,b,100,0,0\n",
+        )
+        assert not load_snapshot_csv(zeroed).policy_aware
+
+    def test_bad_fee_cell_names_file_and_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "fees.csv",
+            "src,dst,capacity,fee_rate_src\na,b,100,0.01\nb,c,40,-0.5\n",
+        )
+        with pytest.raises(SnapshotError, match="fees.csv:3"):
+            load_snapshot_csv(path)
+
+    def test_duplicate_skip_keeps_first_policy(self, tmp_path):
+        path = write(
+            tmp_path,
+            "fees.csv",
+            "src,dst,capacity,fee_rate_src\na,b,100,0.01\nb,a,60,0.09\n",
+        )
+        graph = load_snapshot_csv(path, on_duplicate="skip")
+        assert graph.channel_policy("a", "b").fee_rate == 0.01
+        assert graph.channel_policy("b", "a") == ChannelPolicy()
+
+
+class TestJsonPolicies:
+    def _doc(self, channel: dict) -> str:
+        return json.dumps(
+            {"format": "repro-snapshot-v1", "channels": [channel]}
+        )
+
+    def test_policy_objects_price_each_direction(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            self._doc(
+                {
+                    "src": "a",
+                    "dst": "b",
+                    "capacity": 100,
+                    "policy_src": {"base_fee": 0.5, "fee_rate": 0.01},
+                    "policy_dst": {"htlc_max": 40.0},
+                }
+            ),
+        )
+        graph = load_snapshot_json(path)
+        assert graph.policy_aware
+        assert graph.channel_policy("a", "b") == ChannelPolicy(
+            base_fee=0.5, fee_rate=0.01
+        )
+        assert graph.channel_policy("b", "a") == ChannelPolicy(
+            htlc_max=40.0
+        )
+
+    def test_default_policy_object_stays_policy_free(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            self._doc(
+                {
+                    "src": "a",
+                    "dst": "b",
+                    "capacity": 100,
+                    "policy_src": {"base_fee": 0.0},
+                }
+            ),
+        )
+        assert not load_snapshot_json(path).policy_aware
+
+    def test_unknown_policy_key_rejected(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            self._doc(
+                {
+                    "src": "a",
+                    "dst": "b",
+                    "capacity": 100,
+                    "policy_src": {"fee_base": 1.0},
+                }
+            ),
+        )
+        with pytest.raises(SnapshotError, match="unknown policy keys"):
+            load_snapshot_json(path)
+
+    def test_invalid_policy_value_rejected(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            self._doc(
+                {
+                    "src": "a",
+                    "dst": "b",
+                    "capacity": 100,
+                    "policy_src": {"fee_rate": -0.1},
+                }
+            ),
+        )
+        with pytest.raises(SnapshotError, match="invalid policy"):
+            load_snapshot_json(path)
+
+    def test_policy_must_be_object(self, tmp_path):
+        path = write(
+            tmp_path,
+            "t.json",
+            self._doc(
+                {
+                    "src": "a",
+                    "dst": "b",
+                    "capacity": 100,
+                    "policy_src": [0.5, 0.01],
+                }
+            ),
+        )
+        with pytest.raises(SnapshotError, match="must be an object"):
+            load_snapshot_json(path)
 
 
 class TestNodeIdNormalization:

@@ -255,6 +255,61 @@ class TestFaultIngredients:
         assert len(built) == 2
 
 
+class TestFeeMarketScenarios:
+    def test_catalog_registers_fee_scenarios(self):
+        fee = [
+            s
+            for s in scenarios.iter_scenarios()
+            if s.dynamics == "fee-market"
+        ]
+        assert {s.name for s in fee} >= {
+            "fee-market",
+            "hub-pricing",
+            "ripple-fees",
+        }
+        for scenario in fee:
+            # Fee scenarios join the report matrix but never the smoke
+            # pair (the smoke goldens predate the fee layer).
+            assert scenario.eval_matrix.report
+            assert not scenario.eval_matrix.smoke
+
+    def test_fee_market_build_attaches_controller(self):
+        from repro.network.feemarket import FeeMarketController
+
+        factory = scenarios.get_scenario("fee-market").factory(
+            topology_overrides={"nodes": 60},
+            workload_overrides={"transactions": 5},
+        )
+        graph, workload, events = factory(random.Random(7))
+        # The dynamics builder emits no churn: the "dynamics" is the
+        # controller riding on the graph, ticked on the gossip cadence.
+        assert events == []
+        assert graph.policy_aware
+        assert isinstance(graph.fee_controller, FeeMarketController)
+
+    def test_dynamics_params_reach_the_controller(self):
+        factory = scenarios.get_scenario("fee-market").factory(
+            topology_overrides={"nodes": 60},
+            workload_overrides={"transactions": 5},
+            dynamics_overrides={"hubs": 3, "sensitivity": 9.0},
+        )
+        graph, _, _ = factory(random.Random(7))
+        assert graph.fee_controller.hubs == 3
+        assert graph.fee_controller.sensitivity == 9.0
+
+    def test_controller_survives_graph_copy(self):
+        # Runs work on copies; losing the controller (or the policies)
+        # in copy() would silently turn the market static.
+        factory = scenarios.get_scenario("fee-market").factory(
+            topology_overrides={"nodes": 60},
+            workload_overrides={"transactions": 5},
+        )
+        graph, _, _ = factory(random.Random(7))
+        clone = graph.copy()
+        assert clone.policy_aware
+        assert clone.fee_controller == graph.fee_controller
+
+
 class TestCatalogRoundTrip:
     """Every listed name must resolve and build a runnable scenario."""
 
