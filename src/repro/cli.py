@@ -21,6 +21,8 @@ Examples
     python -m repro sweep ripple-default --axis topology.capacity_median \
         --values 125,250,500 --out results/cap-sweep --resume
     python -m repro sweep payment-storm --axis engine.load --values 1,300,3000
+    python -m repro run mpp-storm --runs 3                    # multi-part payments
+    python -m repro sweep mpp-storm --axis mpp.split --values equal,proportional,flash
     python -m repro report --out results
     python -m repro report --smoke --check-golden tests/golden/report_smoke
 
@@ -41,13 +43,17 @@ scenario's registered engine) and
 docs/CONCURRENCY.md.  ``--fault NAME`` attaches (or swaps in) an
 adversarial fault model — jamming, hub-kill, liquidity-drain, or
 partition — and the comparison table grows the resilience metric
-columns; see docs/RESILIENCE.md.
+columns; see docs/RESILIENCE.md.  ``--mpp`` (or any ``--mpp-param
+KEY=VALUE``) turns on multi-part payments — qualifying payments fan
+out into parts that settle all-or-nothing — and the table grows the
+MPP columns; see docs/CONCURRENCY.md#multi-part-payments.
 
 ``sweep`` runs one registered scenario across several values of one
 parameter (``--axis ROLE.KEY --values V1,V2,...``, where ROLE is
 ``topology``/``workload``/``dynamics``/``fault``, ``fee`` — sugar for
-the dynamics axes of fee-market scenarios — or, for concurrent
-scenarios, ``engine``); with ``--out DIR`` every completed (scheme, seed) cell is
+the dynamics axes of fee-market scenarios — ``engine`` for concurrent
+scenarios, or ``mpp`` when multi-part payments are on); with
+``--out DIR`` every completed (scheme, seed) cell is
 persisted to ``DIR/records.jsonl`` and ``--resume`` re-invokes an
 interrupted sweep without recomputing completed cells.  ``report``
 regenerates the paper's headline comparison (Flash vs all four
@@ -339,6 +345,39 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_mpp_flags(subparser: argparse.ArgumentParser) -> None:
+    """The multi-part payment flags (run/sweep)."""
+    subparser.add_argument(
+        "--mpp",
+        action="store_true",
+        help="enable multi-part payments: qualifying payments fan out "
+        "into parts that escrow independently and settle all-or-nothing "
+        "(docs/CONCURRENCY.md#multi-part-payments)",
+    )
+    subparser.add_argument(
+        "--mpp-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override an MPP knob (repeatable; implies --mpp): "
+        "max_parts, split, threshold, min_part_amount, part_retries, "
+        "part_retry_delay, deadline",
+    )
+
+
+def _mpp_overrides(args) -> dict[str, str] | None:
+    """The CLI's MPP knob mapping, or ``None`` when MPP flags are absent.
+
+    ``None`` defers to the scenario's registered ``mpp_params`` (via
+    :func:`repro.sim.runner.resolve_mpp`); a mapping — even an empty one
+    from a bare ``--mpp`` — enables MPP with these knobs layered over
+    the scenario's.
+    """
+    params = _parse_param_overrides(getattr(args, "mpp_param", None))
+    if params or getattr(args, "mpp", False):
+        return params
+    return None
+
+
 def _add_fault_flags(subparser: argparse.ArgumentParser) -> None:
     """The adversarial fault-injection flags (run/sweep)."""
     subparser.add_argument(
@@ -421,7 +460,7 @@ def _apply_fault_flag(scenario, fault_name: str | None):
 
 def _cmd_run(args) -> int:
     import repro.scenarios as scenarios
-    from repro.sim.runner import resolve_engine
+    from repro.sim.runner import resolve_engine, resolve_mpp
 
     _apply_compact_mode(args)
     try:
@@ -448,6 +487,12 @@ def _cmd_run(args) -> int:
         engine, engine_params = resolve_engine(
             args.name, args.engine, _engine_overrides(args)
         )
+        mpp_params = resolve_mpp(args.name, _mpp_overrides(args))
+        if mpp_params is not None:
+            from repro.sim.mpp import MppConfig
+
+            # Validate knob names/values eagerly, before any run starts.
+            MppConfig.from_params(mpp_params)
     except (scenarios.ScenarioError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -467,9 +512,15 @@ def _cmd_run(args) -> int:
             f"{key}={value}" for key, value in sorted(engine_params.items())
         )
         engine_note = f" engine=concurrent ({knobs})" if knobs else " engine=concurrent"
+    mpp_note = ""
+    if mpp_params is not None:
+        knobs = ", ".join(
+            f"{key}={value}" for key, value in sorted(mpp_params.items())
+        )
+        mpp_note = f" mpp=on ({knobs})" if knobs else " mpp=on"
     print(
         f"scenario={scenario.name} ({scenario.ingredients()}) "
-        f"runs={args.runs} seed={args.seed}{engine_note}"
+        f"runs={args.runs} seed={args.seed}{engine_note}{mpp_note}"
     )
     try:
         comparison = run_comparison(
@@ -495,6 +546,7 @@ def _cmd_run(args) -> int:
             else None,
             engine=engine,
             engine_params=engine_params,
+            mpp_params=mpp_params,
         )
     except (ReproError, ValueError) as error:
         # Overrides that pass type coercion can still violate a builder's
@@ -504,6 +556,7 @@ def _cmd_run(args) -> int:
         return 2
     concurrent = engine == "concurrent"
     faulted = scenario.faults is not None
+    mpp_on = mpp_params is not None
     # Policy-priced runs (fee-market dynamics, fee-column snapshots)
     # carry the BOLT fee metrics; fee-free runs never grow columns.
     priced = any(
@@ -548,6 +601,15 @@ def _cmd_run(args) -> int:
             if faulted
             else []
         )
+        + (
+            [
+                f"{100 * metrics.mpp_success_ratio:.1f}",
+                f"{metrics.parts_per_payment:.2f}",
+                f"{metrics.partial_release_count:.0f}",
+            ]
+            if mpp_on
+            else []
+        )
         for name, metrics in comparison.metrics.items()
     ]
     table = format_table(
@@ -577,6 +639,11 @@ def _cmd_run(args) -> int:
                 "adv. escrow",
             ]
             if faulted
+            else []
+        )
+        + (
+            ["mpp sr (%)", "parts/pay", "part refunds"]
+            if mpp_on
             else []
         ),
         rows,
@@ -632,12 +699,20 @@ def _records_line(store, cells_before: int, expected: int) -> str:
     return line + ")"
 
 
-_SWEEP_ROLES = ("topology", "workload", "dynamics", "fee", "fault", "engine")
+_SWEEP_ROLES = (
+    "topology",
+    "workload",
+    "dynamics",
+    "fee",
+    "fault",
+    "engine",
+    "mpp",
+)
 
 
 def _cmd_sweep(args) -> int:
     import repro.scenarios as scenarios
-    from repro.sim.runner import resolve_engine, sweep as run_sweep
+    from repro.sim.runner import resolve_engine, resolve_mpp, sweep as run_sweep
     from repro.sim import format_series
 
     _apply_compact_mode(args)
@@ -713,6 +788,28 @@ def _cmd_sweep(args) -> int:
             def engine_params_for(value, _base=dict(engine_params)):
                 return {**_base, key: value}
 
+        mpp_params = resolve_mpp(args.name, _mpp_overrides(args))
+        mpp_params_for = None
+        if role == "mpp":
+            if mpp_params is None:
+                raise scenarios.ScenarioError(
+                    "--axis mpp.KEY needs multi-part payments on (pass "
+                    "--mpp or pick an MPP scenario)"
+                )
+            from repro.sim.mpp import MppConfig
+
+            # Validate the axis key and every value eagerly, before any
+            # run starts (from_params raises on unknown keys/bad values).
+            for value in values:
+                MppConfig.from_params({**mpp_params, key: value})
+
+            def mpp_params_for(value, _base=dict(mpp_params)):
+                return {**_base, key: value}
+
+        elif mpp_params is not None:
+            from repro.sim.mpp import MppConfig
+
+            MppConfig.from_params(mpp_params)
     except (scenarios.ScenarioError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -743,7 +840,7 @@ def _cmd_sweep(args) -> int:
             "dynamics_overrides": {},
             "fault_overrides": dict(fault_overrides),
         }
-        if role != "engine":
+        if role not in ("engine", "mpp"):
             # The fee axis is sugar for a fee-market dynamics override.
             section = "dynamics" if role == "fee" else role
             overrides[f"{section}_overrides"][key] = value
@@ -762,6 +859,7 @@ def _cmd_sweep(args) -> int:
         f"sweep scenario={scenario.name} axis={args.axis} "
         f"values={','.join(values)} runs={args.runs} seed={args.seed}"
         + (" engine=concurrent" if engine == "concurrent" else "")
+        + (" mpp=on" if mpp_params is not None else "")
     )
     cell_params = {
         "axis": args.axis,
@@ -783,6 +881,8 @@ def _cmd_sweep(args) -> int:
             engine=engine,
             engine_params=engine_params,
             engine_params_for=engine_params_for,
+            mpp_params=mpp_params,
+            mpp_params_for=mpp_params_for,
         )
     except (ReproError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -812,6 +912,12 @@ def _cmd_sweep(args) -> int:
             ("attacked success ratio (%)", "attack_success_ratio", 100.0),
             ("resilience delta (pp)", "resilience_delta", 100.0),
             ("adversary escrow (fund-s)", "adversary_escrow", 1.0),
+        ]
+    if mpp_params is not None:
+        metric_blocks += [
+            ("MPP success ratio (%)", "mpp_success_ratio", 100.0),
+            ("parts per payment", "parts_per_payment", 1.0),
+            ("partial releases", "partial_release_count", 1.0),
         ]
     blocks = []
     for label, metric, scale in metric_blocks:
@@ -1045,6 +1151,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_flags(run)
     _add_engine_flags(run)
+    _add_mpp_flags(run)
     _add_compact_flag(run)
     _add_backend_flag(run)
     _add_seed_flag(run)
@@ -1103,6 +1210,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_flags(sweep)
     _add_engine_flags(sweep)
+    _add_mpp_flags(sweep)
     _add_compact_flag(sweep)
     _add_backend_flag(sweep)
     _add_seed_flag(sweep)

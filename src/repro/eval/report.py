@@ -215,6 +215,32 @@ TABLES: tuple[TableSpec, ...] = (
         figure="fee market (paper Fig 9, made dynamic)",
         optional_metric=True,
     ),
+    TableSpec(
+        "mpp_success_ratio",
+        "Multi-part payment success ratio (%)",
+        "mpp_success_ratio",
+        ".2f",
+        scale=100.0,
+        figure="multi-part payments (docs/CONCURRENCY.md)",
+        chart=True,
+        optional_metric=True,
+    ),
+    TableSpec(
+        "parts_per_payment",
+        "Parts per multi-part payment",
+        "parts_per_payment",
+        ".2f",
+        figure="multi-part payments (docs/CONCURRENCY.md)",
+        optional_metric=True,
+    ),
+    TableSpec(
+        "partial_release_count",
+        "Sibling part holds refunded on abort",
+        "partial_release_count",
+        ".1f",
+        figure="multi-part payments (docs/CONCURRENCY.md)",
+        optional_metric=True,
+    ),
 )
 
 
@@ -320,6 +346,7 @@ def generate_report(
             cell_params=_report_cell_params(scenario, n_transactions),
             engine=scenario.engine,
             engine_params=scenario.engine_params,
+            mpp_params=scenario.mpp_params,
         )
 
     # ------------------------------------------------ aggregate + render
@@ -333,6 +360,7 @@ def generate_report(
             _report_cell_params(scenario, n_transactions),
             engine=scenario.engine,
             engine_params=scenario.engine_params,
+            mpp_params=scenario.mpp_params,
         )
         wanted[scenario.name] = (digest, n_runs)
     records = [

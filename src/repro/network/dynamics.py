@@ -547,6 +547,7 @@ def run_dynamic_simulation(
     reference_mice_fraction: float = 0.9,
     faults=None,
     copy_graph: bool = True,
+    mpp=None,
 ):
     """Trace-driven simulation with topology churn interleaved by time.
 
@@ -560,14 +561,33 @@ def run_dynamic_simulation(
     plan's adversarial events into the same stream (churn first at equal
     timestamps) and attaches the resilience metric family to the result
     (see :func:`repro.sim.faults.resilience_metrics`).
+
+    ``mpp`` (a :class:`repro.sim.mpp.MppConfig`) enables multi-part
+    payments: qualifying payments split and settle all-or-nothing
+    exactly as in the sequential engine; ``mpp=None`` keeps the
+    original code path byte-for-byte.
     """
     from repro.network.view import NetworkView
     from repro.sim.engine import accrue_revenue
-    from repro.sim.metrics import SimulationResult, TransactionRecord, fee_metrics
+    from repro.sim.metrics import (
+        SimulationResult,
+        TransactionRecord,
+        fee_metrics,
+        mpp_metrics,
+    )
 
     working = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
-    view = NetworkView(working)
+    if mpp is None:
+        view = NetworkView(working)
+        ledger = None
+    else:
+        from repro.sim.concurrent import ConcurrentNetworkView, HoldLedger
+        from repro.sim.mpp import execute_parts_atomically, split_amounts
+
+        mpp.validate()
+        ledger = HoldLedger()
+        view = ConcurrentNetworkView(working, ledger)
     router = router_factory(view, workload, run_rng)
     if faults is not None:
         events = merge_event_streams(events, faults.events)
@@ -576,6 +596,9 @@ def run_dynamic_simulation(
     )
     schedule.register(router)
     threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+    mpp_threshold = (
+        mpp.threshold if mpp is not None and mpp.threshold > 0 else threshold
+    )
     result = SimulationResult(scheme=router.name)
     horizon = workload[len(workload) - 1].time if len(workload) else 0.0
     revenue_by_node: dict = {}
@@ -583,26 +606,63 @@ def run_dynamic_simulation(
         schedule.advance_to(transaction.time)
         probes_before = view.counters.probe_messages
         payments_before = view.counters.payment_messages
-        outcome = router.route(transaction)
-        # ``policy_aware`` is re-read per transaction: a fee controller
-        # attached by the scenario may assign the first policies at a
-        # gossip tick mid-run.
-        if working.policy_aware and outcome.success:
-            accrue_revenue(working, outcome, revenue_by_node)
+        if mpp is None:
+            outcome = router.route(transaction)
+            # ``policy_aware`` is re-read per transaction: a fee
+            # controller attached by the scenario may assign the first
+            # policies at a gossip tick mid-run.
+            if working.policy_aware and outcome.success:
+                accrue_revenue(working, outcome, revenue_by_node)
+            parts = 0
+            partial_releases = 0
+            success, fee = outcome.success, outcome.fee
+            paths_used = len(outcome.transfers)
+        else:
+            amounts = split_amounts(
+                mpp,
+                transaction.amount,
+                mpp_threshold,
+                graph=working,
+                sender=transaction.sender,
+            )
+            outcome = execute_parts_atomically(
+                working,
+                router,
+                ledger,
+                transaction,
+                amounts,
+                mpp.part_retries,
+            )
+            if working.policy_aware and outcome.success:
+                for path, amount in outcome.transfers:
+                    for node, earned in working.path_fee_breakdown(
+                        list(path), amount
+                    ).items():
+                        revenue_by_node[node] = (
+                            revenue_by_node.get(node, 0.0) + earned
+                        )
+            parts = outcome.parts
+            partial_releases = outcome.partial_releases
+            success, fee = outcome.success, outcome.fee
+            paths_used = len(outcome.transfers)
         result.records.append(
             TransactionRecord(
                 txid=transaction.txid,
                 amount=transaction.amount,
-                success=outcome.success,
-                fee=outcome.fee,
+                success=success,
+                fee=fee,
                 is_elephant=transaction.amount >= threshold,
                 probe_messages=view.counters.probe_messages - probes_before,
                 payment_messages=view.counters.payment_messages - payments_before,
-                paths_used=len(outcome.transfers),
+                paths_used=paths_used,
+                parts=parts,
+                partial_releases=partial_releases,
             )
         )
     if working.policy_aware:
         result.fees = fee_metrics(result.records, revenue_by_node)
+    if mpp is not None:
+        result.mpp = mpp_metrics(result.records)
     if faults is not None:
         from repro.sim.faults import resilience_metrics
 

@@ -471,12 +471,24 @@ class ChannelGraph:
             if flow < -_EPS and -flow > self.balance(v, u) + _EPS:
                 raise InsufficientBalanceError(v, u, -flow, self.balance(v, u))
 
-        # All feasible: apply the netted flows.
-        for (u, v), flow in net.items():
-            if flow > _EPS:
-                self.channel(u, v).transfer(u, v, flow)
-            elif flow < -_EPS:
-                self.channel(u, v).transfer(v, u, -flow)
+        # All feasible: apply the netted flows.  The feasibility loop
+        # above checked every channel against *current* balances, but a
+        # concurrently-placed hold (or a numerically marginal flow) can
+        # still make an individual transfer raise mid-apply — unwind the
+        # flows already applied so no partial settle is ever observable.
+        applied: list[tuple[NodeId, NodeId, float]] = []
+        try:
+            for (u, v), flow in net.items():
+                if flow > _EPS:
+                    self.channel(u, v).transfer(u, v, flow)
+                    applied.append((u, v, flow))
+                elif flow < -_EPS:
+                    self.channel(u, v).transfer(v, u, -flow)
+                    applied.append((v, u, -flow))
+        except Exception:
+            for u, v, flow in reversed(applied):
+                self.channel(u, v).transfer(v, u, flow)
+            raise
         for u, v, hop_amount in hop_loads:
             self.note_traffic(u, v, hop_amount)
 

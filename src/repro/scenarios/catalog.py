@@ -830,6 +830,39 @@ register_scenario(
     },
 )
 
+register_scenario(
+    "mpp-storm",
+    "payment-storm topology with an elephant-heavy mixture and "
+    "multi-part payments on: elephants fan out into up to 4 parts that "
+    "escrow independently and settle all-or-nothing at a shared "
+    "deadline (sweep mpp.split / mpp.max_parts to compare policies, "
+    "docs/CONCURRENCY.md#multi-part-payments)",
+    topology="ripple-synthetic",
+    workload="mice-elephant",
+    topology_params={"nodes": 60, "edges": 200, "capacity_median": 120.0},
+    workload_params={
+        "mice_fraction": 0.7,
+        "mice_median": 40.0,
+        "elephant_median": 400.0,
+    },
+    engine="concurrent",
+    engine_params={
+        "load": 300.0,
+        "hop_latency": 2.0,
+        "timeout": 120.0,
+        "max_retries": 5,
+        "retry_delay": 6.0,
+    },
+    mpp_params={
+        "max_parts": 4,
+        "split": "equal",
+        "deadline": 60.0,
+        "part_retries": 1,
+        "part_retry_delay": 3.0,
+    },
+    eval_matrix=EvalMatrix(report=True),
+)
+
 # ---- Scale scenarios (10k nodes, incremental topology maintenance) ----
 
 register_scenario(

@@ -287,6 +287,7 @@ class Scenario:
     engine_params: Mapping[str, object] = field(default_factory=dict)
     faults: str | None = None
     fault_params: Mapping[str, object] = field(default_factory=dict)
+    mpp_params: Mapping[str, object] | None = None
 
     def ingredients(self) -> str:
         """``topology x workload [+ dynamics] [! faults] [@ engine]`` summary."""
@@ -297,6 +298,8 @@ class Scenario:
             parts += f" ! {self.faults}"
         if self.engine != "sequential":
             parts += f" @ {self.engine}"
+        if self.mpp_params is not None:
+            parts += " / mpp"
         return parts
 
     def factory(
@@ -403,13 +406,19 @@ def register_scenario(
     engine_params: Mapping[str, object] | None = None,
     faults: str | None = None,
     fault_params: Mapping[str, object] | None = None,
+    mpp_params: Mapping[str, object] | None = None,
 ) -> Scenario:
     """Compose registered ingredients into a named scenario.
 
     All ingredient names, scenario-level parameter defaults, engine
-    knobs, and fault parameters are validated eagerly (a typo fails at
-    registration, not first run).  Returns the :class:`Scenario` for
-    convenience.
+    knobs, fault parameters, and MPP knobs are validated eagerly (a typo
+    fails at registration, not first run).  Returns the
+    :class:`Scenario` for convenience.
+
+    ``mpp_params`` (a mapping, possibly empty for all defaults) turns
+    multi-part payments on for the scenario; ``None`` (the default)
+    keeps it off, so existing scenarios and their store digests are
+    untouched.
     """
     if name in SCENARIOS:
         raise ScenarioError(f"scenario {name!r} already registered")
@@ -450,6 +459,17 @@ def register_scenario(
             raise ScenarioError(
                 f"scenario {name!r} has bad engine_params: {exc}"
             ) from exc
+    if mpp_params is not None:
+        # Same eager-coercion treatment as engine_params (lazy import
+        # for the same reason: repro.sim pulls no scenario code).
+        from repro.sim.mpp import MppConfig
+
+        try:
+            MppConfig.from_params(mpp_params)
+        except ValueError as exc:
+            raise ScenarioError(
+                f"scenario {name!r} has bad mpp_params: {exc}"
+            ) from exc
     scenario = Scenario(
         name=name,
         description=description,
@@ -465,6 +485,7 @@ def register_scenario(
         engine_params=dict(engine_params or {}),
         faults=faults,
         fault_params=dict(fault_params or {}),
+        mpp_params=dict(mpp_params) if mpp_params is not None else None,
     )
     # Eager validation: ingredient lookup + parameter binding both raise
     # ScenarioError on any mismatch.

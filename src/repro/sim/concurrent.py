@@ -84,7 +84,13 @@ from repro.sim.faults import FaultPlan, resilience_metrics
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView, PaymentSession
 from repro.protocol.events import EventQueue
-from repro.sim.metrics import SimulationResult, TransactionRecord, fee_metrics
+from repro.sim.metrics import (
+    SimulationResult,
+    TransactionRecord,
+    fee_metrics,
+    mpp_metrics,
+)
+from repro.sim.mpp import MppConfig, split_amounts
 from repro.traces.workload import Transaction, Workload
 
 #: One held hop: escrowed ``amount`` in the ``src -> dst`` direction.
@@ -359,6 +365,30 @@ class _InFlight:
     #: (the policies the escrow was sized under — a fee-controller tick
     #: between reserve and settle must not reprice in-flight holds).
     revenue: dict = field(default_factory=dict)
+    #: MPP part index (-1 for whole payments): parts share their
+    #: parent's txid, so the registry keys escrow by ``(txid, part)``.
+    part: int = -1
+
+
+@dataclass
+class _MppPayment:
+    """Coordinator state for one multi-part payment.
+
+    ``flights`` maps part index -> reserved escrow; ``ready_at`` the
+    simulated time each part's settle pass could complete.  ``done``
+    latches once the payment settled or aborted, so late events (the
+    deadline, a straggler retry) become no-ops.
+    """
+
+    pending: _PendingPayment
+    amounts: list[float]
+    deadline_at: float
+    flights: dict[int, _InFlight] = field(default_factory=dict)
+    ready_at: dict[int, float] = field(default_factory=dict)
+    part_attempts: dict[int, int] = field(default_factory=dict)
+    fee_total: float = 0.0
+    transfers: list = field(default_factory=list)
+    done: bool = False
 
 
 class _EscrowRegistry:
@@ -374,33 +404,38 @@ class _EscrowRegistry:
 
     def __init__(self, graph: ChannelGraph) -> None:
         self._graph = graph
-        self._flights: dict[int, _InFlight] = {}
-        self._by_pair: dict[frozenset, set[int]] = {}
+        self._flights: dict[tuple[int, int], _InFlight] = {}
+        self._by_pair: dict[frozenset, set[tuple[int, int]]] = {}
+
+    @staticmethod
+    def _key(flight: _InFlight) -> tuple[int, int]:
+        """Registry key: MPP parts share a txid but escrow separately."""
+        return (flight.pending.transaction.txid, flight.part)
 
     def register(self, flight: _InFlight) -> None:
         """Track a freshly reserved payment's holds."""
-        txid = flight.pending.transaction.txid
-        self._flights[txid] = flight
+        key = self._key(flight)
+        self._flights[key] = flight
         for u, v, _ in flight.holds:
-            self._by_pair.setdefault(frozenset((u, v)), set()).add(txid)
+            self._by_pair.setdefault(frozenset((u, v)), set()).add(key)
 
     def unregister(self, flight: _InFlight) -> None:
         """Drop a settled/expired payment from the index."""
-        txid = flight.pending.transaction.txid
-        self._flights.pop(txid, None)
+        key = self._key(flight)
+        self._flights.pop(key, None)
         for u, v, _ in flight.holds:
             pair = frozenset((u, v))
             members = self._by_pair.get(pair)
             if members is not None:
-                members.discard(txid)
+                members.discard(key)
                 if not members:
                     del self._by_pair[pair]
 
     def force_close(self, a: NodeId, b: NodeId) -> None:
         """Release every in-flight hold on ``(a, b)``; doom those payments."""
         pair = frozenset((a, b))
-        for txid in sorted(self._by_pair.pop(pair, ())):
-            flight = self._flights.get(txid)
+        for key in sorted(self._by_pair.pop(pair, ())):
+            flight = self._flights.get(key)
             if flight is None:
                 continue
             kept: list[HeldHop] = []
@@ -428,6 +463,7 @@ def run_concurrent_simulation(
     reference_mice_fraction: float = 0.9,
     copy_graph: bool = True,
     faults: FaultPlan | None = None,
+    mpp: MppConfig | None = None,
 ) -> SimulationResult:
     """Route ``workload`` with overlapping in-flight payments; returns metrics.
 
@@ -450,6 +486,21 @@ def run_concurrent_simulation(
     :data:`repro.sim.metrics.RESILIENCE_METRIC_FIELDS` — with the
     adversary-escrow integral converted back to uncompressed trace
     seconds, so the metric is comparable across ``load`` settings.
+
+    ``mpp`` (an :class:`~repro.sim.mpp.MppConfig`) enables multi-part
+    payments: qualifying payments fan out at their start instant into
+    parts that route and escrow independently, retry per-part
+    (``part_retries`` / ``part_retry_delay``), and settle
+    **all-or-nothing** at one instant — when the last part is escrowed,
+    a joint settle is scheduled at the slowest part's settle-ready time;
+    a part exhausting its retries (or a force-close disrupting a part)
+    releases every sibling hold immediately, and the shared ``deadline``
+    aborts anything still unsettled ``deadline`` seconds after the
+    payment started (ties at the deadline instant abort — the deadline
+    event is scheduled first, so the queue's sequence tie-break fires it
+    before any same-time settle).  ``result.mpp`` then carries
+    :data:`repro.sim.metrics.MPP_METRIC_FIELDS`.  With ``mpp=None``
+    (the default) the engine is byte-identical to the pre-MPP engine.
     """
     config = config if config is not None else ConcurrencyConfig()
     config.validate()
@@ -467,6 +518,14 @@ def run_concurrent_simulation(
     )
     router = router_factory(view, workload, run_rng)
     threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+    if mpp is not None:
+        mpp.validate()
+    mpp_threshold = (
+        mpp.threshold if mpp is not None and mpp.threshold > 0 else threshold
+    )
+    # MPP-free runs record parts=0 (the pre-MPP record defaults);
+    # MPP-enabled runs record parts=1 for payments that did not split.
+    default_parts = 0 if mpp is None else 1
     registry = _EscrowRegistry(working_graph)
     policy_aware = working_graph.policy_aware
     revenue_by_node: dict[NodeId, float] = {}
@@ -495,6 +554,9 @@ def run_concurrent_simulation(
         fee: float,
         paths_used: int,
         timed_out: bool,
+        parts: int | None = None,
+        partial_releases: int = 0,
+        attempts_base: int = 1,
     ) -> None:
         transaction = pending.transaction
         records[transaction.txid] = TransactionRecord(
@@ -507,8 +569,10 @@ def run_concurrent_simulation(
             payment_messages=pending.payment_messages,
             paths_used=paths_used,
             latency=queue.now - pending.started_at,
-            retries=pending.attempts - 1,
+            retries=max(0, pending.attempts - attempts_base),
             timed_out=timed_out,
+            parts=default_parts if parts is None else parts,
+            partial_releases=partial_releases,
         )
 
     def settle(flight: _InFlight, outcome) -> None:
@@ -614,19 +678,172 @@ def run_concurrent_simulation(
             timed_out=False,
         )
 
+    # ------------------------------------------- multi-part coordination
+
+    def mpp_abort(state: "_MppPayment", timed_out: bool) -> None:
+        """Refund every reserved sibling part's escrow; fail the payment."""
+        if state.done:
+            return
+        state.done = True
+        released = 0
+        for index in sorted(state.flights):
+            flight = state.flights[index]
+            registry.unregister(flight)
+            for u, v, amount in reversed(flight.holds):
+                working_graph.release_hold(u, v, amount)
+            released += 1
+        record(
+            state.pending,
+            success=False,
+            fee=0.0,
+            paths_used=0,
+            timed_out=timed_out,
+            parts=len(state.amounts),
+            partial_releases=released,
+            attempts_base=len(state.amounts),
+        )
+
+    def mpp_settle(state: "_MppPayment") -> None:
+        """Settle every part's escrow at one instant — or none of it."""
+        if state.done:
+            return
+        if any(flight.disrupted for flight in state.flights.values()):
+            # A force-close broke a part mid-flight: the all-or-nothing
+            # contract refunds every surviving sibling hold instead.
+            mpp_abort(state, timed_out=False)
+            return
+        state.done = True
+        for index in sorted(state.flights):
+            flight = state.flights[index]
+            registry.unregister(flight)
+            for u, v, amount in flight.holds:
+                working_graph.settle_hold(u, v, amount)
+            for node, earned in flight.revenue.items():
+                revenue_by_node[node] = revenue_by_node.get(node, 0.0) + earned
+        record(
+            state.pending,
+            success=True,
+            fee=state.fee_total,
+            paths_used=len(state.transfers),
+            timed_out=False,
+            parts=len(state.amounts),
+            partial_releases=0,
+            attempts_base=len(state.amounts),
+        )
+
+    def attempt_part(state: "_MppPayment", index: int) -> None:
+        if state.done:
+            return
+        schedule.advance_to(queue.now)
+        pending = state.pending
+        part_amount = state.amounts[index]
+        transaction = pending.transaction
+        part_tx = (
+            transaction
+            if part_amount == transaction.amount
+            else replace(transaction, amount=part_amount)
+        )
+        probes_before = view.counters.probe_messages
+        payments_before = view.counters.payment_messages
+        ledger.begin()
+        outcome = router.route(part_tx)
+        holds, transfers = ledger.collect()
+        state.part_attempts[index] = state.part_attempts.get(index, 0) + 1
+        pending.attempts += 1
+        pending.probe_messages += view.counters.probe_messages - probes_before
+        pending.payment_messages += (
+            view.counters.payment_messages - payments_before
+        )
+        if outcome.success:
+            part_transfers = transfers or list(outcome.transfers)
+            flight = _InFlight(pending=pending, holds=holds, part=index)
+            if policy_aware:
+                for path, amount in part_transfers:
+                    for node, earned in working_graph.path_fee_breakdown(
+                        list(path), amount
+                    ).items():
+                        flight.revenue[node] = (
+                            flight.revenue.get(node, 0.0) + earned
+                        )
+            registry.register(flight)
+            state.flights[index] = flight
+            state.fee_total += outcome.fee
+            state.transfers.extend(part_transfers)
+            state.ready_at[index] = queue.now + 2.0 * config.hop_latency * (
+                _max_hops(part_transfers)
+            )
+            if len(state.flights) == len(state.amounts):
+                settle_at = max(state.ready_at.values())
+                if settle_at > state.deadline_at:
+                    # The slowest part cannot be settle-ready before the
+                    # shared deadline; the deadline event will refund
+                    # everything (timed_out), like a structural timeout.
+                    return
+                queue.schedule(
+                    settle_at - queue.now, lambda: mpp_settle(state)
+                )
+            return
+        # Defensive: a failed part route must not leave escrow behind.
+        for u, v, amount in reversed(holds):
+            working_graph.release_hold(u, v, amount)
+        if (
+            state.part_attempts[index] <= mpp.part_retries
+            and queue.now + mpp.part_retry_delay <= state.deadline_at
+        ):
+            queue.schedule(
+                mpp.part_retry_delay,
+                lambda: attempt_part(state, index),
+            )
+            return
+        # A part exhausted its retries: release every sibling hold NOW,
+        # well before the deadline — the all-or-nothing abort.
+        mpp_abort(state, timed_out=False)
+
+    def start(pending: _PendingPayment) -> None:
+        """Dispatch one payment: single-shot, or MPP fan-out."""
+        if mpp is None:
+            attempt(pending)
+            return
+        schedule.advance_to(queue.now)
+        amounts = split_amounts(
+            mpp,
+            pending.transaction.amount,
+            mpp_threshold,
+            graph=working_graph,
+            sender=pending.transaction.sender,
+        )
+        if len(amounts) == 1:
+            attempt(pending)
+            return
+        state = _MppPayment(
+            pending=pending,
+            amounts=amounts,
+            deadline_at=queue.now + mpp.deadline,
+        )
+        queue.schedule(mpp.deadline, lambda: mpp_abort(state, timed_out=True))
+        # Parts attempt inline at the start instant in index order (the
+        # deterministic fan-out); retries re-enter via the queue.
+        for index in range(len(amounts)):
+            attempt_part(state, index)
+
     # Churn events are scheduled before payment starts so that at equal
     # timestamps the sequence tie-break applies the topology change
     # first — the same order run_dynamic_simulation guarantees.
     for event in scaled_events:
         queue.schedule(event.time, lambda: schedule.advance_to(queue.now))
     for transaction in workload:
-        start = transaction.time / config.load
-        pending = _PendingPayment(transaction=transaction, started_at=start)
-        queue.schedule(start, lambda pending=pending: attempt(pending))
+        start_at = transaction.time / config.load
+        pending = _PendingPayment(transaction=transaction, started_at=start_at)
+        queue.schedule(start_at, lambda pending=pending: start(pending))
 
     # Every payment contributes at most (1 + max_retries) attempts plus
-    # one settle/timeout event; anything beyond that bound is a bug.
-    budget = len(workload) * (config.max_retries + 2) + len(scaled_events) + 16
+    # one settle/timeout event; with MPP each payment may additionally
+    # fan out into parts with their own retries, one joint settle, and
+    # one deadline event.  Anything beyond the bound is a bug.
+    per_payment = config.max_retries + 2
+    if mpp is not None:
+        per_payment += mpp.max_parts * (mpp.part_retries + 2) + 2
+    budget = len(workload) * per_payment + len(scaled_events) + 16
     queue.run_until_idle(max_events=budget)
     schedule.flush(queue.now)
 
@@ -635,6 +852,8 @@ def run_concurrent_simulation(
         result.records.append(records[transaction.txid])
     if policy_aware:
         result.fees = fee_metrics(result.records, revenue_by_node)
+    if mpp is not None:
+        result.mpp = mpp_metrics(result.records)
     if faults is not None:
         schedule.finalize(queue.now)
         horizon = workload[len(workload) - 1].time if len(workload) else 0.0

@@ -37,7 +37,13 @@ from collections.abc import Callable
 from repro.core.base import Router
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView
-from repro.sim.metrics import SimulationResult, TransactionRecord, fee_metrics
+from repro.sim.metrics import (
+    SimulationResult,
+    TransactionRecord,
+    fee_metrics,
+    mpp_metrics,
+)
+from repro.sim.mpp import MppConfig, execute_parts_atomically, split_amounts
 from repro.traces.workload import Workload
 
 RouterFactory = Callable[[NetworkView, Workload, random.Random], Router]
@@ -63,19 +69,41 @@ def run_simulation(
     rng: random.Random | None = None,
     reference_mice_fraction: float = 0.9,
     copy_graph: bool = True,
+    mpp: MppConfig | None = None,
 ) -> SimulationResult:
     """Route ``workload`` over ``graph`` with a fresh router; returns metrics.
 
     ``copy_graph=True`` (default) leaves the input graph untouched so the
     same topology can be replayed across schemes — the paper compares all
     four schemes on identical initial balances.
+
+    With ``mpp`` set, qualifying payments (at or above the resolved
+    splitting threshold) fan out into parts that escrow independently
+    and settle all-or-nothing through
+    :func:`~repro.sim.mpp.execute_parts_atomically`; ``result.mpp``
+    then carries :data:`~repro.sim.metrics.MPP_METRIC_FIELDS`.  With
+    ``mpp=None`` (the default) this function is byte-identical to the
+    pre-MPP engine — same code path, same records, same golden pin.
     """
     working_graph = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
-    view = NetworkView(working_graph)
+    if mpp is None:
+        view = NetworkView(working_graph)
+    else:
+        # Deferred-settlement view: routers place holds that settle (or
+        # refund) only when the whole multi-part payment resolves.
+        from repro.sim.concurrent import ConcurrentNetworkView, HoldLedger
+
+        mpp.validate()
+        ledger = HoldLedger()
+        view = ConcurrentNetworkView(working_graph, ledger)
     router = router_factory(view, workload, run_rng)
     reference_threshold = workload.threshold_for_mice_fraction(
         reference_mice_fraction
+    )
+    mpp_threshold = (
+        mpp.threshold if mpp is not None and mpp.threshold > 0
+        else reference_threshold
     )
     result = SimulationResult(scheme=router.name)
     policy_aware = working_graph.policy_aware
@@ -83,22 +111,59 @@ def run_simulation(
     for transaction in workload:
         probes_before = view.counters.probe_messages
         payments_before = view.counters.payment_messages
-        outcome = router.route(transaction)
-        if policy_aware and outcome.success:
-            accrue_revenue(working_graph, outcome, revenue_by_node)
+        if mpp is None:
+            outcome = router.route(transaction)
+            if policy_aware and outcome.success:
+                accrue_revenue(working_graph, outcome, revenue_by_node)
+            parts = 0
+            partial_releases = 0
+            success, fee = outcome.success, outcome.fee
+            paths_used = len(outcome.transfers)
+        else:
+            amounts = split_amounts(
+                mpp,
+                transaction.amount,
+                mpp_threshold,
+                graph=working_graph,
+                sender=transaction.sender,
+            )
+            outcome = execute_parts_atomically(
+                working_graph,
+                router,
+                ledger,
+                transaction,
+                amounts,
+                mpp.part_retries,
+            )
+            if policy_aware and outcome.success:
+                for path, amount in outcome.transfers:
+                    for node, earned in working_graph.path_fee_breakdown(
+                        list(path), amount
+                    ).items():
+                        revenue_by_node[node] = (
+                            revenue_by_node.get(node, 0.0) + earned
+                        )
+            parts = outcome.parts
+            partial_releases = outcome.partial_releases
+            success, fee = outcome.success, outcome.fee
+            paths_used = len(outcome.transfers)
         result.records.append(
             TransactionRecord(
                 txid=transaction.txid,
                 amount=transaction.amount,
-                success=outcome.success,
-                fee=outcome.fee,
+                success=success,
+                fee=fee,
                 is_elephant=transaction.amount >= reference_threshold,
                 probe_messages=view.counters.probe_messages - probes_before,
                 payment_messages=view.counters.payment_messages
                 - payments_before,
-                paths_used=len(outcome.transfers),
+                paths_used=paths_used,
+                parts=parts,
+                partial_releases=partial_releases,
             )
         )
     if policy_aware:
         result.fees = fee_metrics(result.records, revenue_by_node)
+    if mpp is not None:
+        result.mpp = mpp_metrics(result.records)
     return result

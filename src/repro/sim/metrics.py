@@ -70,6 +70,46 @@ FEE_METRIC_FIELDS: tuple[str, ...] = (
     "hub_revenue",
 )
 
+#: Multi-part payment fields recorded only when MPP is enabled
+#: (:mod:`repro.sim.mpp`).  Appended after the fee set, so MPP-free
+#: records keep their exact pre-MPP shape and store digests.
+MPP_METRIC_FIELDS: tuple[str, ...] = (
+    "mpp_payments",
+    "parts_per_payment",
+    "partial_release_count",
+    "mpp_success_ratio",
+    "mpp_latency_p95",
+)
+
+
+def mpp_metrics(records: Sequence["TransactionRecord"]) -> dict[str, float]:
+    """The :data:`MPP_METRIC_FIELDS` values for one MPP-enabled run.
+
+    A payment counts as multi-part when it fanned out into more than
+    one concurrently-held part (``record.parts > 1``);
+    ``partial_release_count`` totals sibling holds refunded because a
+    part failed or the shared deadline passed — the observable cost of
+    the all-or-nothing guarantee.
+    """
+    multi = [r for r in records if r.parts > 1]
+    settled = [r for r in multi if r.success]
+    latencies = [r.latency for r in settled]
+    return {
+        "mpp_payments": float(len(multi)),
+        "parts_per_payment": (
+            sum(r.parts for r in multi) / len(multi) if multi else 0.0
+        ),
+        "partial_release_count": float(
+            sum(r.partial_releases for r in records)
+        ),
+        "mpp_success_ratio": (
+            len(settled) / len(multi) if multi else 0.0
+        ),
+        "mpp_latency_p95": (
+            percentile(latencies, 0.95) if latencies else 0.0
+        ),
+    }
+
 
 def fee_metrics(
     records: Sequence["TransactionRecord"],
@@ -100,6 +140,13 @@ class TransactionRecord:
     simulated seconds from the payment's first start to its settle (or
     final failure); ``retries`` counts engine-level re-attempts beyond
     the first; ``timed_out`` marks failures caused by the hold timeout.
+
+    ``parts`` and ``partial_releases`` are only meaningful for
+    MPP-enabled runs (:mod:`repro.sim.mpp`): ``parts`` is the number of
+    sub-payment parts the payment fanned out into (0 for single-shot
+    payments in MPP-free runs, 1 when MPP was on but the payment did
+    not split), and ``partial_releases`` counts sibling part holds
+    refunded because a part failed or the shared deadline passed.
     """
 
     txid: int
@@ -113,6 +160,8 @@ class TransactionRecord:
     latency: float = 0.0
     retries: int = 0
     timed_out: bool = False
+    parts: int = 0
+    partial_releases: int = 0
 
 
 @dataclass
@@ -125,8 +174,9 @@ class SimulationResult:
     :data:`RESILIENCE_METRIC_FIELDS`) only when the run injected a
     fault plan; ``fees`` (exactly :data:`FEE_METRIC_FIELDS`, see
     :func:`fee_metrics`) only when the run's graph carried BOLT channel
-    policies.  Both stay empty — and invisible to :meth:`to_record` —
-    otherwise.
+    policies; ``mpp`` (exactly :data:`MPP_METRIC_FIELDS`, see
+    :func:`mpp_metrics`) only when the run enabled multi-part payments.
+    All stay empty — and invisible to :meth:`to_record` — otherwise.
     """
 
     scheme: str
@@ -134,6 +184,7 @@ class SimulationResult:
     engine: str = "sequential"
     resilience: dict = field(default_factory=dict)
     fees: dict = field(default_factory=dict)
+    mpp: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------- scalars
 
@@ -259,6 +310,33 @@ class SimulationResult:
         """Fees pocketed by the best-earning intermediary node."""
         return float(self.fees.get("hub_revenue", 0.0))
 
+    # ------------------------------------------------- multi-part payments
+
+    @property
+    def mpp_payments(self) -> float:
+        """Payments that fanned out into more than one part."""
+        return float(self.mpp.get("mpp_payments", 0.0))
+
+    @property
+    def parts_per_payment(self) -> float:
+        """Mean part count over multi-part payments (0.0 without MPP)."""
+        return float(self.mpp.get("parts_per_payment", 0.0))
+
+    @property
+    def partial_release_count(self) -> float:
+        """Sibling part holds refunded by the all-or-nothing abort."""
+        return float(self.mpp.get("partial_release_count", 0.0))
+
+    @property
+    def mpp_success_ratio(self) -> float:
+        """Success rate over multi-part payments only."""
+        return float(self.mpp.get("mpp_success_ratio", 0.0))
+
+    @property
+    def mpp_latency_p95(self) -> float:
+        """95th-percentile latency of settled multi-part payments."""
+        return float(self.mpp.get("mpp_latency_p95", 0.0))
+
     # ------------------------------------------------------ class breakdown
 
     def _class_records(self, elephant: bool) -> list[TransactionRecord]:
@@ -318,8 +396,10 @@ class SimulationResult:
         Runs with an injected fault plan append
         :data:`RESILIENCE_METRIC_FIELDS`; fault-free records are
         byte-identical to the pre-faults format.  Policy-aware runs
-        append :data:`FEE_METRIC_FIELDS` last; policy-free records are
-        byte-identical to the pre-policy format.
+        append :data:`FEE_METRIC_FIELDS`; policy-free records are
+        byte-identical to the pre-policy format.  MPP-enabled runs
+        append :data:`MPP_METRIC_FIELDS` last; MPP-free records are
+        byte-identical to the pre-MPP format.
         """
         names = METRIC_FIELDS
         if self.engine == "concurrent":
@@ -328,6 +408,8 @@ class SimulationResult:
             names = names + RESILIENCE_METRIC_FIELDS
         if self.fees:
             names = names + FEE_METRIC_FIELDS
+        if self.mpp:
+            names = names + MPP_METRIC_FIELDS
         return {name: float(getattr(self, name)) for name in names}
 
 
@@ -368,6 +450,11 @@ class StoredResult:
     fee_paid_total: float = 0.0
     fee_p50: float = 0.0
     hub_revenue: float = 0.0
+    mpp_payments: float = 0.0
+    parts_per_payment: float = 0.0
+    partial_release_count: float = 0.0
+    mpp_success_ratio: float = 0.0
+    mpp_latency_p95: float = 0.0
 
     @classmethod
     def from_record(
@@ -375,10 +462,10 @@ class StoredResult:
     ) -> "StoredResult":
         """Rehydrate from a store record's ``metrics`` mapping.
 
-        The concurrency, resilience, and fee fields default to zero
-        when absent, so records written by sequential, fault-free, or
-        policy-free runs (which do not persist them) rehydrate
-        unchanged.
+        The concurrency, resilience, fee, and MPP fields default to
+        zero when absent, so records written by sequential, fault-free,
+        policy-free, or MPP-free runs (which do not persist them)
+        rehydrate unchanged.
         """
         return cls(
             scheme=scheme,
@@ -388,6 +475,7 @@ class StoredResult:
                 for name in CONCURRENT_METRIC_FIELDS
                 + RESILIENCE_METRIC_FIELDS
                 + FEE_METRIC_FIELDS
+                + MPP_METRIC_FIELDS
             },
         )
 
@@ -424,6 +512,11 @@ class AveragedMetrics:
     fee_paid_total: float = 0.0
     fee_p50: float = 0.0
     hub_revenue: float = 0.0
+    mpp_payments: float = 0.0
+    parts_per_payment: float = 0.0
+    partial_release_count: float = 0.0
+    mpp_success_ratio: float = 0.0
+    mpp_latency_p95: float = 0.0
 
     @classmethod
     def of(cls, results: Sequence[SimulationResult]) -> "AveragedMetrics":
@@ -473,4 +566,11 @@ class AveragedMetrics:
             fee_paid_total=mean(r.fee_paid_total for r in results),
             fee_p50=mean(r.fee_p50 for r in results),
             hub_revenue=mean(r.hub_revenue for r in results),
+            mpp_payments=mean(r.mpp_payments for r in results),
+            parts_per_payment=mean(r.parts_per_payment for r in results),
+            partial_release_count=mean(
+                r.partial_release_count for r in results
+            ),
+            mpp_success_ratio=mean(r.mpp_success_ratio for r in results),
+            mpp_latency_p95=mean(r.mpp_latency_p95 for r in results),
         )

@@ -99,6 +99,7 @@ def cell_digest(
     reference_mice_fraction: float = DEFAULT_MICE_FRACTION,
     engine: str = "sequential",
     engine_params: Mapping[str, object] | None = None,
+    mpp_params: Mapping[str, object] | None = None,
 ) -> tuple[dict[str, object], str]:
     """The ``(params, hash)`` a comparison's store cells are keyed by.
 
@@ -110,7 +111,10 @@ def cell_digest(
     Concurrent cells fold the engine name and the **fully-resolved**
     knob set into the key (an omitted knob and its explicit default
     hash identically); sequential cells add nothing, so stores written
-    before the concurrent engine existed still resume.
+    before the concurrent engine existed still resume.  MPP-enabled
+    cells (``mpp_params`` not ``None``) likewise fold the resolved
+    :class:`~repro.sim.mpp.MppConfig` knob set under ``"mpp"``;
+    MPP-free cells add nothing, keeping pre-MPP digests.
     """
     from repro.eval.store import params_hash
 
@@ -123,6 +127,10 @@ def cell_digest(
         params["engine_params"] = ConcurrencyConfig.from_params(
             engine_params
         ).to_params()
+    if mpp_params is not None:
+        from repro.sim.mpp import MppConfig
+
+        params["mpp"] = MppConfig.from_params(mpp_params).to_params()
     return params, params_hash(params)
 
 
@@ -167,6 +175,31 @@ def resolve_engine(
     return resolved, params
 
 
+def resolve_mpp(
+    scenario: "ScenarioFactory | str",
+    mpp_params: Mapping[str, object] | None,
+) -> dict[str, object] | None:
+    """The effective MPP knob mapping for one comparison, or ``None``.
+
+    ``None`` disables MPP; any mapping (even ``{}``) enables it with
+    the defaults of :class:`~repro.sim.mpp.MppConfig` underneath.
+    ``mpp_params=None`` defers to the registered scenario's
+    ``mpp_params`` (``None`` for factory callables); a registered
+    MPP scenario's knobs act as defaults under any explicitly passed
+    ones, mirroring :func:`resolve_engine`.
+    """
+    scenario_params: Mapping[str, object] | None = None
+    if isinstance(scenario, str):
+        from repro.scenarios import get_scenario
+
+        scenario_params = get_scenario(scenario).mpp_params
+    if mpp_params is None:
+        return dict(scenario_params) if scenario_params is not None else None
+    resolved = dict(scenario_params or {})
+    resolved.update(dict(mpp_params))
+    return resolved
+
+
 def resolve_scenario(scenario: ScenarioFactory | str) -> ScenarioFactory:
     """Accept a factory callable or a registered scenario name.
 
@@ -204,6 +237,7 @@ def _single_run(
     run_index: int,
     engine: str = "sequential",
     engine_params: Mapping[str, object] | None = None,
+    mpp_params: Mapping[str, object] | None = None,
 ) -> dict[str, SimulationResult]:
     """One seeded replication: every scheme on the same graph/workload.
 
@@ -233,6 +267,11 @@ def _single_run(
         from repro.sim.concurrent import ConcurrencyConfig
 
         config = ConcurrencyConfig.from_params(engine_params)
+    mpp = None
+    if mpp_params is not None:
+        from repro.sim.mpp import MppConfig
+
+        mpp = MppConfig.from_params(mpp_params)
     results: dict[str, SimulationResult] = {}
     for name, factory in factories.items():
         name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
@@ -249,6 +288,7 @@ def _single_run(
                 events=events,
                 reference_mice_fraction=reference_mice_fraction,
                 faults=faults,
+                mpp=mpp,
             )
         elif (
             events
@@ -266,6 +306,7 @@ def _single_run(
                 rng=router_rng,
                 reference_mice_fraction=reference_mice_fraction,
                 faults=faults,
+                mpp=mpp,
             )
         else:
             results[name] = run_simulation(
@@ -274,6 +315,7 @@ def _single_run(
                 workload,
                 rng=router_rng,
                 reference_mice_fraction=reference_mice_fraction,
+                mpp=mpp,
             )
     return results
 
@@ -327,6 +369,7 @@ def _forked_run(run_index: int) -> dict[str, SimulationResult]:
         params,
         engine,
         engine_params,
+        mpp_params,
     ) = _FORK_STATE
     results = _single_run(
         scenario,
@@ -336,6 +379,7 @@ def _forked_run(run_index: int) -> dict[str, SimulationResult]:
         run_index,
         engine=engine,
         engine_params=engine_params,
+        mpp_params=mpp_params,
     )
     if store_directory is not None:
         # Persist into a per-process shard before returning: if a later
@@ -394,6 +438,7 @@ def _run_parallel(
     params: Mapping[str, object] | None = None,
     engine: str = "sequential",
     engine_params: Mapping[str, object] | None = None,
+    mpp_params: Mapping[str, object] | None = None,
 ) -> list[dict[str, SimulationResult]] | None:
     """Fan runs out over fork workers; ``None`` if fork is unavailable."""
     global _FORK_STATE
@@ -423,6 +468,7 @@ def _run_parallel(
                 params,
                 engine,
                 engine_params,
+                mpp_params,
             )
             try:
                 pool = context.Pool(processes=min(workers, len(run_indices)))
@@ -453,6 +499,7 @@ def run_comparison(
     cell_params: Mapping[str, object] | None = None,
     engine: str | None = None,
     engine_params: Mapping[str, object] | None = None,
+    mpp_params: Mapping[str, object] | None = None,
 ) -> ComparisonResult:
     """Average each scheme over ``runs`` seeded replications.
 
@@ -477,7 +524,9 @@ def run_comparison(
     (include anything that changes the scenario's behaviour — overrides,
     swept values — so different configurations never collide); the
     engine and its resolved knobs are folded into that hash for
-    concurrent runs automatically.
+    concurrent runs automatically, and the resolved MPP knobs likewise
+    when MPP is enabled (``mpp_params`` mapping, or a registered
+    scenario default — see :func:`resolve_mpp`).
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
@@ -491,6 +540,7 @@ def run_comparison(
             )
         experiment = scenario
     engine, engine_params = resolve_engine(scenario, engine, engine_params)
+    mpp_params = resolve_mpp(scenario, mpp_params)
     scenario = resolve_scenario(scenario)
 
     digest = ""
@@ -504,6 +554,7 @@ def run_comparison(
             reference_mice_fraction,
             engine=engine,
             engine_params=engine_params,
+            mpp_params=mpp_params,
         )
         # Fold in shards orphaned by a killed parent (the pool's own
         # merge in `finally` never ran), so those completed runs count
@@ -539,6 +590,7 @@ def run_comparison(
                 params=params,
                 engine=engine,
                 engine_params=engine_params,
+                mpp_params=mpp_params,
             )
         if parallel_results is not None:
             fresh = dict(zip(pending, parallel_results))
@@ -552,6 +604,7 @@ def run_comparison(
                     run_index,
                     engine=engine,
                     engine_params=engine_params,
+                    mpp_params=mpp_params,
                 )
                 fresh[run_index] = results
                 if store is not None:
@@ -595,6 +648,8 @@ def sweep(
     engine: str | None = None,
     engine_params: Mapping[str, object] | None = None,
     engine_params_for: Callable[[object], Mapping[str, object]] | None = None,
+    mpp_params: Mapping[str, object] | None = None,
+    mpp_params_for: Callable[[object], Mapping[str, object]] | None = None,
 ) -> dict[str, list[AveragedMetrics]]:
     """Run a parameter sweep: one comparison per value.
 
@@ -606,7 +661,8 @@ def sweep(
     ``engine_params_for`` makes the *engine* itself sweepable (the
     concurrency axes: load, timeout, ...): when given, it maps each
     swept value to that comparison's engine knobs, overriding
-    ``engine_params``.
+    ``engine_params``.  ``mpp_params``/``mpp_params_for`` do the same
+    for the multi-part payment knobs (the ``mpp.*`` axes).
 
     With ``store`` the sweep is **resumable**: each swept value's cells
     carry the value inside their parameter hash, so re-invoking an
@@ -637,6 +693,9 @@ def sweep(
             engine_params=engine_params_for(value)
             if engine_params_for is not None
             else engine_params,
+            mpp_params=mpp_params_for(value)
+            if mpp_params_for is not None
+            else mpp_params,
         )
         for name in factories:
             series[name].append(comparison[name])
