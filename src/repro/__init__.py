@@ -103,8 +103,10 @@ from repro.sim import (
     sweep,
 )
 from repro.traces import (
+    EmpiricalValueDistribution,
     Transaction,
     Workload,
+    WorkloadStream,
     bitcoin_size_distribution,
     generate_bursty_workload,
     generate_diurnal_workload,
@@ -114,6 +116,8 @@ from repro.traces import (
     generate_ripple_workload,
     recurrence_summary,
     ripple_size_distribution,
+    stream_lightning_workload,
+    stream_workload,
 )
 
 __version__ = "1.0.0"
@@ -128,6 +132,7 @@ __all__ = [
     "CompactTopology",
     "ChurnModel",
     "ChurnPreset",
+    "EmpiricalValueDistribution",
     "GossipSchedule",
     "Rebalancer",
     "channel_skew",
@@ -158,6 +163,7 @@ __all__ = [
     "Transaction",
     "Transfer",
     "Workload",
+    "WorkloadStream",
     "ZeroFee",
     "bitcoin_size_distribution",
     "find_elephant_paths",
@@ -186,6 +192,8 @@ __all__ = [
     "speedymurmurs_factory",
     "spider_factory",
     "split_payment",
+    "stream_lightning_workload",
+    "stream_workload",
     "sweep",
     "testbed_topology",
     "__version__",

@@ -523,9 +523,16 @@ def _cmd_run(args) -> int:
         f"runs={args.runs} seed={args.seed}{engine_note}{mpp_note}"
     )
     try:
+        selected = _filter_factories(
+            paper_benchmark_factories(), getattr(args, "scheme", None)
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
         comparison = run_comparison(
             factory,
-            paper_benchmark_factories(),
+            selected,
             runs=args.runs,
             base_seed=args.seed,
             workers=args.workers,
@@ -659,6 +666,36 @@ def _cmd_run(args) -> int:
         expected = args.runs * len(comparison.metrics)
         print(_records_line(store, cells_before, expected))
     return 0
+
+
+def _filter_factories(factories: dict, names: list[str] | None) -> dict:
+    """Restrict the scheme table to ``--scheme`` selections.
+
+    Matching is a case-insensitive prefix (``--scheme flash``,
+    ``--scheme speedy``); selection order follows the benchmark table,
+    not the flag order, so store cells and output rows stay in the
+    canonical order.  Per-scheme RNGs are salted by scheme name, so a
+    filtered run produces byte-identical results (and store cells) for
+    the schemes it does run.
+    """
+    if not names:
+        return factories
+    chosen: set[str] = set()
+    for wanted in names:
+        matches = [
+            key
+            for key in factories
+            if key.lower().startswith(wanted.strip().lower())
+        ]
+        if not matches:
+            known = ", ".join(factories)
+            raise ValueError(f"unknown scheme {wanted!r} (known: {known})")
+        if len(matches) > 1:
+            raise ValueError(
+                f"ambiguous scheme {wanted!r} (matches: {', '.join(matches)})"
+            )
+        chosen.add(matches[0])
+    return {key: value for key, value in factories.items() if key in chosen}
 
 
 def _scenario_cell_params(scenario, topo, workload, dynamics, fault=None) -> dict:
@@ -1148,6 +1185,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="KEY=VALUE",
         help="override a dynamics parameter (repeatable)",
+    )
+    run.add_argument(
+        "--scheme",
+        action="append",
+        metavar="NAME",
+        help="restrict the comparison to this scheme (repeatable; "
+        "case-insensitive prefix of Flash, Spider, SpeedyMurmurs, "
+        "Shortest Path) — e.g. trace-scale streaming runs on the "
+        "cheap routers only",
     )
     _add_fault_flags(run)
     _add_engine_flags(run)

@@ -15,6 +15,7 @@ mice" (§4.1) and sweeps it in Fig 10.  Two classifiers are provided:
 from __future__ import annotations
 
 import bisect
+import random
 from dataclasses import dataclass
 
 from repro.traces.workload import Workload
@@ -97,3 +98,77 @@ class StreamingQuantileClassifier:
 
     def is_elephant(self, amount: float) -> bool:
         return amount >= self.threshold
+
+
+class ReservoirThresholdEstimator:
+    """Mice-threshold estimate over a uniform reservoir of the stream.
+
+    The streaming engines cannot call
+    :meth:`Workload.threshold_for_mice_fraction` (no materialized
+    amounts), so they estimate the cutoff from a fixed-size uniform
+    sample (Vitter's reservoir algorithm R) of every amount seen so far.
+    Unlike :class:`StreamingQuantileClassifier`'s sliding window, the
+    reservoir weights the whole stream equally — matching the offline
+    whole-workload quantile the list path computes.
+
+    The replacement draws come from a **dedicated, fixed-seed** RNG:
+    drawing from the run RNG would shift every subsequent router draw
+    and break the streaming ≡ list equivalence of the headline metrics.
+    Threshold semantics mirror ``threshold_for_mice_fraction``
+    (``mice_fraction`` of the sample falls below the cutoff; 0.0 makes
+    everything an elephant, 1.0 everything a mouse).
+    """
+
+    RESERVOIR_SEED = 0x5EED
+
+    def __init__(
+        self, mice_fraction: float = 0.9, size: int = 1_024
+    ) -> None:
+        if not 0.0 <= mice_fraction <= 1.0:
+            raise ValueError(
+                f"mice_fraction must be in [0, 1], got {mice_fraction}"
+            )
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.mice_fraction = mice_fraction
+        self.size = size
+        self._rng = random.Random(self.RESERVOIR_SEED)
+        self._seen = 0
+        self._reservoir: list[float] = []
+        self._sorted: list[float] = []
+
+    def observe(self, amount: float) -> None:
+        self._seen += 1
+        if len(self._reservoir) < self.size:
+            self._reservoir.append(amount)
+            bisect.insort(self._sorted, amount)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.size:
+            evicted = self._reservoir[slot]
+            self._reservoir[slot] = amount
+            del self._sorted[bisect.bisect_left(self._sorted, evicted)]
+            bisect.insort(self._sorted, amount)
+
+    @property
+    def threshold(self) -> float:
+        """Current cutoff estimate (0.0 before any observation)."""
+        if not self._sorted:
+            return 0.0
+        if self.mice_fraction == 0.0:
+            return 0.0
+        if self.mice_fraction == 1.0:
+            return self._sorted[-1] + 1.0
+        index = min(
+            int(self.mice_fraction * len(self._sorted)),
+            len(self._sorted) - 1,
+        )
+        return self._sorted[index]
+
+    def is_elephant(self, amount: float) -> bool:
+        return amount >= self.threshold
+
+    def classify(self, amount: float) -> bool:
+        """Observe ``amount``, then classify it with the updated estimate."""
+        self.observe(amount)
+        return self.is_elephant(amount)

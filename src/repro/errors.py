@@ -59,6 +59,15 @@ class ProtocolError(ReproError):
     """A protocol message was malformed or arrived in an invalid state."""
 
 
+class EventBudgetError(ProtocolError, RuntimeError):
+    """The discrete-event queue exhausted its event budget (livelock?).
+
+    Subclasses ``RuntimeError`` too, so callers that guarded against the
+    pre-typed bare ``RuntimeError`` keep working; new code should catch
+    :class:`ReproError` (the CLI does) or this class directly.
+    """
+
+
 class TopologyError(ReproError):
     """A topology generator received invalid parameters."""
 

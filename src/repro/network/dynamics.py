@@ -566,16 +566,33 @@ def run_dynamic_simulation(
     payments: qualifying payments split and settle all-or-nothing
     exactly as in the sequential engine; ``mpp=None`` keeps the
     original code path byte-for-byte.
+
+    A :class:`~repro.traces.workload.WorkloadStream` input switches to
+    the single-pass accumulator path (see
+    :func:`repro.sim.engine.run_simulation`); churn events still apply
+    between transactions as usual.  Streaming is incompatible with
+    ``faults``: resilience metrics need the full ordered record list, so
+    that combination raises rather than approximating.
     """
+    from repro.core.classifier import ReservoirThresholdEstimator
     from repro.network.view import NetworkView
     from repro.sim.engine import accrue_revenue
     from repro.sim.metrics import (
         SimulationResult,
+        StreamingMetricsAccumulator,
         TransactionRecord,
         fee_metrics,
         mpp_metrics,
     )
+    from repro.traces.workload import WorkloadStream
 
+    streaming = isinstance(workload, WorkloadStream)
+    if streaming and faults is not None:
+        raise ValueError(
+            "streaming workloads cannot run with a fault plan: resilience "
+            "metrics need the full ordered record list; materialize() the "
+            "stream instead"
+        )
     working = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
     if mpp is None:
@@ -595,15 +612,9 @@ def run_dynamic_simulation(
         graph=working, events=events, gossip_period=gossip_period
     )
     schedule.register(router)
-    threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
-    mpp_threshold = (
-        mpp.threshold if mpp is not None and mpp.threshold > 0 else threshold
-    )
-    result = SimulationResult(scheme=router.name)
-    horizon = workload[len(workload) - 1].time if len(workload) else 0.0
     revenue_by_node: dict = {}
-    for transaction in workload:
-        schedule.advance_to(transaction.time)
+
+    def route_one(transaction, threshold, mpp_threshold):
         probes_before = view.counters.probe_messages
         payments_before = view.counters.payment_messages
         if mpp is None:
@@ -645,19 +656,69 @@ def run_dynamic_simulation(
             partial_releases = outcome.partial_releases
             success, fee = outcome.success, outcome.fee
             paths_used = len(outcome.transfers)
-        result.records.append(
-            TransactionRecord(
-                txid=transaction.txid,
-                amount=transaction.amount,
-                success=success,
-                fee=fee,
-                is_elephant=transaction.amount >= threshold,
-                probe_messages=view.counters.probe_messages - probes_before,
-                payment_messages=view.counters.payment_messages - payments_before,
-                paths_used=paths_used,
-                parts=parts,
-                partial_releases=partial_releases,
+        return TransactionRecord(
+            txid=transaction.txid,
+            amount=transaction.amount,
+            success=success,
+            fee=fee,
+            is_elephant=transaction.amount >= threshold,
+            probe_messages=view.counters.probe_messages - probes_before,
+            payment_messages=view.counters.payment_messages - payments_before,
+            paths_used=paths_used,
+            parts=parts,
+            partial_releases=partial_releases,
+        )
+
+    if streaming:
+        accumulator = StreamingMetricsAccumulator(
+            scheme=router.name,
+            engine="sequential",
+            track_fees=working.policy_aware,
+            track_mpp=mpp is not None,
+        )
+        hint = workload.mice_threshold_hint
+        estimator = (
+            None
+            if hint is not None
+            else ReservoirThresholdEstimator(reference_mice_fraction)
+        )
+        fixed_mpp_threshold = (
+            mpp.threshold if mpp is not None and mpp.threshold > 0 else None
+        )
+        threshold = hint if hint is not None else 0.0
+        for transaction in workload:
+            schedule.advance_to(transaction.time)
+            if estimator is not None:
+                estimator.observe(transaction.amount)
+                threshold = estimator.threshold
+            accumulator.observe(
+                route_one(
+                    transaction,
+                    threshold,
+                    fixed_mpp_threshold
+                    if fixed_mpp_threshold is not None
+                    else threshold,
+                )
             )
+        # A fee controller may have attached the first policies at a
+        # gossip tick mid-run; re-read policy_aware (as the list path's
+        # end-of-run fee_metrics call does) before freezing the result.
+        accumulator.track_fees = accumulator.track_fees or working.policy_aware
+        return accumulator.result(
+            revenue_by_node=revenue_by_node if working.policy_aware else None,
+            mice_threshold=threshold,
+        )
+
+    threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+    mpp_threshold = (
+        mpp.threshold if mpp is not None and mpp.threshold > 0 else threshold
+    )
+    result = SimulationResult(scheme=router.name)
+    horizon = workload[len(workload) - 1].time if len(workload) else 0.0
+    for transaction in workload:
+        schedule.advance_to(transaction.time)
+        result.records.append(
+            route_one(transaction, threshold, mpp_threshold)
         )
     if working.policy_aware:
         result.fees = fee_metrics(result.records, revenue_by_node)

@@ -12,6 +12,8 @@ import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.errors import EventBudgetError
+
 Action = Callable[[], None]
 
 
@@ -38,14 +40,25 @@ class EventQueue:
         heapq.heappush(self._heap, _Event(self.now + delay, self._sequence, action))
         self._sequence += 1
 
-    def run_until_idle(self, max_events: int | None = None) -> int:
-        """Drain the queue; returns the number of events processed."""
+    def run_until_idle(
+        self, max_events: int | Callable[[], int] | None = None
+    ) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``max_events`` bounds the drain: an ``int`` is a fixed budget, a
+        zero-argument callable is re-evaluated before each event so
+        producers that feed the queue while it drains (the streaming
+        concurrent engine) can grow the budget incrementally.  Exceeding
+        the budget raises :class:`repro.errors.EventBudgetError`.
+        """
         count = 0
         while self._heap:
-            if max_events is not None and count >= max_events:
-                raise RuntimeError(
-                    f"event budget of {max_events} exhausted - livelock?"
-                )
+            if max_events is not None:
+                limit = max_events() if callable(max_events) else max_events
+                if count >= limit:
+                    raise EventBudgetError(
+                        f"event budget of {limit} exhausted - livelock?"
+                    )
             event = heapq.heappop(self._heap)
             self.now = event.time
             event.action()

@@ -57,9 +57,11 @@ from repro.sim.faults import (
     LiquidityDrainSpec,
     PartitionSpec,
 )
+from repro.traces.distributions import EmpiricalValueDistribution
 from repro.traces.generators import (
     generate_lightning_workload,
     generate_ripple_workload,
+    stream_lightning_workload,
 )
 from repro.traces.synthetic import (
     generate_bursty_workload,
@@ -67,7 +69,7 @@ from repro.traces.synthetic import (
     generate_hotspot_workload,
     generate_mixed_workload,
 )
-from repro.traces.workload import Workload
+from repro.traces.workload import Workload, WorkloadStream
 
 #: Bundled snapshot files shipped with the package.
 DATA_DIR = Path(__file__).parent / "data"
@@ -352,6 +354,42 @@ def _build_hotspot(
     )
 
 
+def _build_lightning_stream(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    transactions: int,
+    transactions_per_day: float,
+    values_csv: str,
+) -> WorkloadStream:
+    """Trace-scale Lightning workload as a re-streamable stream.
+
+    Never materializes the transaction list: the builder draws one
+    64-bit sub-seed from the scenario RNG and returns a
+    :class:`WorkloadStream` whose every ``iter()`` replays the generator
+    from a fresh ``random.Random(sub_seed)`` — so each routing scheme in
+    a comparison sees the identical payment sequence while peak
+    residency stays O(engine lookahead window), not O(transactions).
+
+    ``values_csv`` (optional) swaps the Bitcoin-calibrated size mixture
+    for an :class:`EmpiricalValueDistribution` sampled by inverse CDF
+    from a measured payment-values CSV (first column, header tolerated).
+    """
+    sizes = EmpiricalValueDistribution.from_csv(values_csv) if values_csv else None
+    node_list = list(nodes)
+    sub_seed = rng.getrandbits(64)
+
+    def source():
+        return stream_lightning_workload(
+            random.Random(sub_seed),
+            node_list,
+            transactions,
+            transactions_per_day=transactions_per_day,
+            sizes=sizes,
+        )
+
+    return WorkloadStream(source, length=transactions)
+
+
 def _build_mice_elephant(
     rng: random.Random,
     nodes: Sequence[NodeId],
@@ -420,6 +458,30 @@ register_workload(
         ParamSpec("hotspot_count", int, 4, "number of hotspot receivers"),
         ParamSpec(
             "hotspot_share", float, 0.6, "fraction of payments redirected"
+        ),
+    ),
+)
+
+register_workload(
+    "lightning-stream",
+    _build_lightning_stream,
+    "streaming Lightning trace workload: the §4.1 generator as a "
+    "re-streamable WorkloadStream (never materialized; O(window) memory), "
+    "optionally sized from a measured payment-values CSV",
+    params=(
+        ParamSpec("transactions", int, 1_000_000, "number of payments to stream"),
+        ParamSpec(
+            "transactions_per_day",
+            float,
+            1_000_000.0,
+            "arrival rate (default packs the whole stream into one day)",
+        ),
+        ParamSpec(
+            "values_csv",
+            str,
+            "",
+            "optional CSV of measured payment values for the empirical "
+            "size distribution (empty = Bitcoin-calibrated mixture)",
         ),
     ),
 )
@@ -900,6 +962,27 @@ register_scenario(
     engine="concurrent",
     engine_params={
         "load": 200.0,
+        "hop_latency": 0.3,
+        "timeout": 20.0,
+        "max_retries": 2,
+        "retry_delay": 1.0,
+    },
+)
+
+register_scenario(
+    "lightning-day",
+    "one full day of Lightning traffic (~1M payments) replayed through "
+    "the concurrent engine in bounded memory: the workload arrives as a "
+    "re-streamable WorkloadStream, the engine keeps only its lookahead "
+    "window of pending payments resident, and metrics fold into the "
+    "streaming accumulator — the store checkpoints each completed "
+    "scheme, so a killed run resumes where it left off "
+    "(docs/SCENARIOS.md#streaming)",
+    topology="lightning-snapshot",
+    workload="lightning-stream",
+    engine="concurrent",
+    engine_params={
+        "load": 1.0,
         "hop_latency": 0.3,
         "timeout": 20.0,
         "max_retries": 2,

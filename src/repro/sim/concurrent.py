@@ -84,14 +84,17 @@ from repro.sim.faults import FaultPlan, resilience_metrics
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView, PaymentSession
 from repro.protocol.events import EventQueue
+from repro.core.classifier import ReservoirThresholdEstimator
 from repro.sim.metrics import (
     SimulationResult,
+    StreamingMetricsAccumulator,
+    StreamingSimulationResult,
     TransactionRecord,
     fee_metrics,
     mpp_metrics,
 )
 from repro.sim.mpp import MppConfig, split_amounts
-from repro.traces.workload import Transaction, Workload
+from repro.traces.workload import Transaction, Workload, WorkloadStream
 
 #: One held hop: escrowed ``amount`` in the ``src -> dst`` direction.
 HeldHop = tuple[NodeId, NodeId, float]
@@ -456,7 +459,7 @@ def _max_hops(transfers: Sequence[tuple[tuple[NodeId, ...], float]]) -> int:
 def run_concurrent_simulation(
     graph: ChannelGraph,
     router_factory,
-    workload: Workload,
+    workload: Workload | WorkloadStream,
     rng: random.Random | None = None,
     config: ConcurrencyConfig | None = None,
     events: Sequence[ChannelEvent] | None = None,
@@ -464,7 +467,9 @@ def run_concurrent_simulation(
     copy_graph: bool = True,
     faults: FaultPlan | None = None,
     mpp: MppConfig | None = None,
-) -> SimulationResult:
+    lookahead: int = 256,
+    progress=None,
+) -> SimulationResult | StreamingSimulationResult:
     """Route ``workload`` with overlapping in-flight payments; returns metrics.
 
     Same contract as :func:`repro.sim.engine.run_simulation` — fresh
@@ -501,9 +506,38 @@ def run_concurrent_simulation(
     before any same-time settle).  ``result.mpp`` then carries
     :data:`repro.sim.metrics.MPP_METRIC_FIELDS`.  With ``mpp=None``
     (the default) the engine is byte-identical to the pre-MPP engine.
+
+    A :class:`~repro.traces.workload.WorkloadStream` input switches to
+    the **single-pass** path: instead of pre-scheduling every payment
+    start upfront, the engine bootstraps ``lookahead`` transactions onto
+    the queue and pulls one more from the stream at each payment start,
+    so at most ``lookahead`` un-started transactions (plus the in-flight
+    window) are ever resident.  Finished records flow into a
+    :class:`~repro.sim.metrics.StreamingMetricsAccumulator` (no records
+    dict, no ordered second pass) and the event budget grows
+    incrementally with the fed count.  ``progress`` (a callable taking
+    the fed transaction count) fires every 10,000 feeds and once at the
+    end — checkpoint/throughput hooks for trace-scale runs.  Streaming
+    is incompatible with ``faults`` (resilience metrics need the full
+    ordered record list) and raises rather than approximating.  One
+    caveat versus a materialized run of the same trace: payment starts
+    are enqueued lazily, so their queue sequence numbers interleave with
+    settle/retry events — at *identical* timestamps the tie-break order
+    can differ from the list path; with distinct timestamps (generic
+    continuous arrival times) results match the list path's headline
+    metrics exactly.
     """
     config = config if config is not None else ConcurrencyConfig()
     config.validate()
+    streaming = isinstance(workload, WorkloadStream)
+    if streaming and faults is not None:
+        raise ValueError(
+            "streaming workloads cannot run with a fault plan: resilience "
+            "metrics need the full ordered record list; materialize() the "
+            "stream instead"
+        )
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
     working_graph = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
     queue = EventQueue()
@@ -517,12 +551,21 @@ def run_concurrent_simulation(
         else None
     )
     router = router_factory(view, workload, run_rng)
-    threshold = workload.threshold_for_mice_fraction(reference_mice_fraction)
+    if streaming:
+        hint = workload.mice_threshold_hint
+        estimator = (
+            None
+            if hint is not None
+            else ReservoirThresholdEstimator(reference_mice_fraction)
+        )
+        threshold = hint if hint is not None else 0.0
+    else:
+        estimator = None
+        threshold = workload.threshold_for_mice_fraction(
+            reference_mice_fraction
+        )
     if mpp is not None:
         mpp.validate()
-    mpp_threshold = (
-        mpp.threshold if mpp is not None and mpp.threshold > 0 else threshold
-    )
     # MPP-free runs record parts=0 (the pre-MPP record defaults);
     # MPP-enabled runs record parts=1 for payments that did not split.
     default_parts = 0 if mpp is None else 1
@@ -547,6 +590,19 @@ def run_concurrent_simulation(
     schedule.register(router)
 
     records: dict[int, TransactionRecord] = {}
+    if streaming:
+        accumulator = StreamingMetricsAccumulator(
+            scheme=router.name,
+            engine="concurrent",
+            track_fees=policy_aware,
+            track_mpp=mpp is not None,
+        )
+        emit = accumulator.observe
+    else:
+        accumulator = None
+
+        def emit(finished: TransactionRecord) -> None:
+            records[finished.txid] = finished
 
     def record(
         pending: _PendingPayment,
@@ -559,20 +615,22 @@ def run_concurrent_simulation(
         attempts_base: int = 1,
     ) -> None:
         transaction = pending.transaction
-        records[transaction.txid] = TransactionRecord(
-            txid=transaction.txid,
-            amount=transaction.amount,
-            success=success,
-            fee=fee,
-            is_elephant=transaction.amount >= threshold,
-            probe_messages=pending.probe_messages,
-            payment_messages=pending.payment_messages,
-            paths_used=paths_used,
-            latency=queue.now - pending.started_at,
-            retries=max(0, pending.attempts - attempts_base),
-            timed_out=timed_out,
-            parts=default_parts if parts is None else parts,
-            partial_releases=partial_releases,
+        emit(
+            TransactionRecord(
+                txid=transaction.txid,
+                amount=transaction.amount,
+                success=success,
+                fee=fee,
+                is_elephant=transaction.amount >= threshold,
+                probe_messages=pending.probe_messages,
+                payment_messages=pending.payment_messages,
+                paths_used=paths_used,
+                latency=queue.now - pending.started_at,
+                retries=max(0, pending.attempts - attempts_base),
+                timed_out=timed_out,
+                parts=default_parts if parts is None else parts,
+                partial_releases=partial_releases,
+            )
         )
 
     def settle(flight: _InFlight, outcome) -> None:
@@ -805,10 +863,13 @@ def run_concurrent_simulation(
             attempt(pending)
             return
         schedule.advance_to(queue.now)
+        # Re-derive the split threshold from the (possibly streaming,
+        # reservoir-estimated) reference threshold; identical to the
+        # precomputed ``mpp_threshold`` on the list path.
         amounts = split_amounts(
             mpp,
             pending.transaction.amount,
-            mpp_threshold,
+            mpp.threshold if mpp.threshold > 0 else threshold,
             graph=working_graph,
             sender=pending.transaction.sender,
         )
@@ -831,10 +892,6 @@ def run_concurrent_simulation(
     # first — the same order run_dynamic_simulation guarantees.
     for event in scaled_events:
         queue.schedule(event.time, lambda: schedule.advance_to(queue.now))
-    for transaction in workload:
-        start_at = transaction.time / config.load
-        pending = _PendingPayment(transaction=transaction, started_at=start_at)
-        queue.schedule(start_at, lambda pending=pending: start(pending))
 
     # Every payment contributes at most (1 + max_retries) attempts plus
     # one settle/timeout event; with MPP each payment may additionally
@@ -843,6 +900,60 @@ def run_concurrent_simulation(
     per_payment = config.max_retries + 2
     if mpp is not None:
         per_payment += mpp.max_parts * (mpp.part_retries + 2) + 2
+
+    if streaming:
+        stream_iterator = iter(workload)
+        fed = 0
+
+        def feed_one() -> None:
+            """Pull the next transaction (if any) onto the event queue.
+
+            The stream is time-ordered and feeds happen at payment-start
+            instants, so the computed delay is never negative; the
+            ``max`` is purely defensive against a mis-ordered stream.
+            """
+            nonlocal fed, threshold
+            transaction = next(stream_iterator, None)
+            if transaction is None:
+                return
+            if estimator is not None:
+                estimator.observe(transaction.amount)
+                threshold = estimator.threshold
+            start_at = transaction.time / config.load
+            pending = _PendingPayment(
+                transaction=transaction, started_at=start_at
+            )
+            queue.schedule(
+                max(0.0, start_at - queue.now),
+                lambda: (feed_one(), start(pending)),
+            )
+            fed += 1
+            if progress is not None and fed % 10_000 == 0:
+                progress(fed)
+
+        # Bootstrap the lookahead window; each payment start then pulls
+        # one more transaction, so at most ``lookahead`` un-started
+        # transactions are resident at any instant.  The event budget is
+        # re-evaluated per event and grows with the fed count, keeping
+        # the livelock guard tight for the work actually admitted.
+        for _ in range(lookahead):
+            feed_one()
+        queue.run_until_idle(
+            max_events=lambda: fed * per_payment + len(scaled_events) + 16
+        )
+        schedule.flush(queue.now)
+        if progress is not None:
+            progress(fed)
+        return accumulator.result(
+            revenue_by_node=revenue_by_node if policy_aware else None,
+            mice_threshold=threshold,
+        )
+
+    for transaction in workload:
+        start_at = transaction.time / config.load
+        pending = _PendingPayment(transaction=transaction, started_at=start_at)
+        queue.schedule(start_at, lambda pending=pending: start(pending))
+
     budget = len(workload) * per_payment + len(scaled_events) + 16
     queue.run_until_idle(max_events=budget)
     schedule.flush(queue.now)

@@ -35,18 +35,23 @@ import random
 from collections.abc import Callable
 
 from repro.core.base import Router
+from repro.core.classifier import ReservoirThresholdEstimator
 from repro.network.graph import ChannelGraph
 from repro.network.view import NetworkView
 from repro.sim.metrics import (
     SimulationResult,
+    StreamingMetricsAccumulator,
+    StreamingSimulationResult,
     TransactionRecord,
     fee_metrics,
     mpp_metrics,
 )
 from repro.sim.mpp import MppConfig, execute_parts_atomically, split_amounts
-from repro.traces.workload import Workload
+from repro.traces.workload import Transaction, Workload, WorkloadStream
 
-RouterFactory = Callable[[NetworkView, Workload, random.Random], Router]
+RouterFactory = Callable[
+    [NetworkView, "Workload | WorkloadStream", random.Random], Router
+]
 
 
 def accrue_revenue(graph, outcome, revenue_by_node: dict) -> None:
@@ -65,12 +70,12 @@ def accrue_revenue(graph, outcome, revenue_by_node: dict) -> None:
 def run_simulation(
     graph: ChannelGraph,
     router_factory: RouterFactory,
-    workload: Workload,
+    workload: Workload | WorkloadStream,
     rng: random.Random | None = None,
     reference_mice_fraction: float = 0.9,
     copy_graph: bool = True,
     mpp: MppConfig | None = None,
-) -> SimulationResult:
+) -> SimulationResult | StreamingSimulationResult:
     """Route ``workload`` over ``graph`` with a fresh router; returns metrics.
 
     ``copy_graph=True`` (default) leaves the input graph untouched so the
@@ -84,11 +89,20 @@ def run_simulation(
     then carries :data:`~repro.sim.metrics.MPP_METRIC_FIELDS`.  With
     ``mpp=None`` (the default) this function is byte-identical to the
     pre-MPP engine — same code path, same records, same golden pin.
+
+    A :class:`~repro.traces.workload.WorkloadStream` input switches to
+    the single-pass path: per-transaction records flow into a
+    :class:`~repro.sim.metrics.StreamingMetricsAccumulator` instead of a
+    list, so memory stays O(1) in the trace length, and the elephant
+    threshold comes from the stream's hint or an online reservoir
+    estimate.  List-backed inputs take the identical code path as
+    before streams existed.
     """
     working_graph = graph.copy() if copy_graph else graph
     run_rng = rng if rng is not None else random.Random(0)
     if mpp is None:
         view = NetworkView(working_graph)
+        ledger = None
     else:
         # Deferred-settlement view: routers place holds that settle (or
         # refund) only when the whole multi-part payment resolves.
@@ -98,17 +112,14 @@ def run_simulation(
         ledger = HoldLedger()
         view = ConcurrentNetworkView(working_graph, ledger)
     router = router_factory(view, workload, run_rng)
-    reference_threshold = workload.threshold_for_mice_fraction(
-        reference_mice_fraction
-    )
-    mpp_threshold = (
-        mpp.threshold if mpp is not None and mpp.threshold > 0
-        else reference_threshold
-    )
-    result = SimulationResult(scheme=router.name)
     policy_aware = working_graph.policy_aware
     revenue_by_node: dict = {}
-    for transaction in workload:
+
+    def route_one(
+        transaction: Transaction,
+        reference_threshold: float,
+        mpp_threshold: float,
+    ) -> TransactionRecord:
         probes_before = view.counters.probe_messages
         payments_before = view.counters.payment_messages
         if mpp is None:
@@ -147,20 +158,66 @@ def run_simulation(
             partial_releases = outcome.partial_releases
             success, fee = outcome.success, outcome.fee
             paths_used = len(outcome.transfers)
-        result.records.append(
-            TransactionRecord(
-                txid=transaction.txid,
-                amount=transaction.amount,
-                success=success,
-                fee=fee,
-                is_elephant=transaction.amount >= reference_threshold,
-                probe_messages=view.counters.probe_messages - probes_before,
-                payment_messages=view.counters.payment_messages
-                - payments_before,
-                paths_used=paths_used,
-                parts=parts,
-                partial_releases=partial_releases,
+        return TransactionRecord(
+            txid=transaction.txid,
+            amount=transaction.amount,
+            success=success,
+            fee=fee,
+            is_elephant=transaction.amount >= reference_threshold,
+            probe_messages=view.counters.probe_messages - probes_before,
+            payment_messages=view.counters.payment_messages
+            - payments_before,
+            paths_used=paths_used,
+            parts=parts,
+            partial_releases=partial_releases,
+        )
+
+    if isinstance(workload, WorkloadStream):
+        accumulator = StreamingMetricsAccumulator(
+            scheme=router.name,
+            engine="sequential",
+            track_fees=policy_aware,
+            track_mpp=mpp is not None,
+        )
+        hint = workload.mice_threshold_hint
+        estimator = (
+            None
+            if hint is not None
+            else ReservoirThresholdEstimator(reference_mice_fraction)
+        )
+        fixed_mpp_threshold = (
+            mpp.threshold if mpp is not None and mpp.threshold > 0 else None
+        )
+        threshold = hint if hint is not None else 0.0
+        for transaction in workload:
+            if estimator is not None:
+                estimator.observe(transaction.amount)
+                threshold = estimator.threshold
+            accumulator.observe(
+                route_one(
+                    transaction,
+                    threshold,
+                    fixed_mpp_threshold
+                    if fixed_mpp_threshold is not None
+                    else threshold,
+                )
             )
+        return accumulator.result(
+            revenue_by_node=revenue_by_node if policy_aware else None,
+            mice_threshold=threshold,
+        )
+
+    reference_threshold = workload.threshold_for_mice_fraction(
+        reference_mice_fraction
+    )
+    mpp_threshold = (
+        mpp.threshold if mpp is not None and mpp.threshold > 0
+        else reference_threshold
+    )
+    result = SimulationResult(scheme=router.name)
+    for transaction in workload:
+        result.records.append(
+            route_one(transaction, reference_threshold, mpp_threshold)
         )
     if policy_aware:
         result.fees = fee_metrics(result.records, revenue_by_node)

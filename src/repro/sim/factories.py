@@ -22,7 +22,7 @@ from repro.core.classifier import (
 from repro.core.flash import DEFAULT_K, DEFAULT_M, FlashRouter
 from repro.network.view import NetworkView
 from repro.sim.engine import RouterFactory
-from repro.traces.workload import Workload
+from repro.traces.workload import Workload, WorkloadStream
 
 
 def flash_factory(
@@ -32,14 +32,33 @@ def flash_factory(
     optimize_fees: bool = True,
     shuffle_mice_paths: bool = True,
 ) -> RouterFactory:
-    """Flash with the paper's defaults: k=20, m=4, 90% mice."""
+    """Flash with the paper's defaults: k=20, m=4, 90% mice.
+
+    With a list-backed workload the elephant threshold is computed
+    offline from the full trace, as the paper does.  A
+    :class:`~repro.traces.workload.WorkloadStream` has no materialized
+    amounts: the stream's ``mice_threshold_hint`` is used when present
+    (keeping classification exact), otherwise the router falls back to
+    the online :class:`StreamingQuantileClassifier` — what a deployed
+    node without trace history would do.
+    """
 
     def build(
         view: NetworkView, workload: Workload, rng: random.Random
     ) -> FlashRouter:
-        classifier = StaticThresholdClassifier.from_workload(
-            workload, mice_fraction
-        )
+        if isinstance(workload, WorkloadStream):
+            if workload.mice_threshold_hint is not None:
+                classifier = StaticThresholdClassifier(
+                    threshold=workload.mice_threshold_hint
+                )
+            else:
+                classifier = StreamingQuantileClassifier(
+                    mice_fraction=mice_fraction
+                )
+        else:
+            classifier = StaticThresholdClassifier.from_workload(
+                workload, mice_fraction
+            )
         return FlashRouter(
             view,
             classifier=classifier,

@@ -413,6 +413,375 @@ class SimulationResult:
         return {name: float(getattr(self, name)) for name in names}
 
 
+class P2Quantile:
+    """Single-quantile P² estimator (Jain & Chlamtac, CACM 1985).
+
+    Tracks a running quantile in O(1) memory: five marker heights whose
+    positions are nudged toward the ideal quantile positions with
+    parabolic interpolation.  The first five observations are kept
+    exactly, so tiny runs report the same value the list-based
+    :func:`~repro.traces.workload.percentile` would.  Accuracy for
+    larger runs is within a fraction of a percent for smooth
+    distributions — the documented tolerance of streaming-mode latency
+    and fee quantiles.  On strongly *discrete* distributions (concurrent
+    latencies cluster at multiples of the hop round-trip) the parabolic
+    markers can settle between adjacent modes, so differential checks
+    should allow a tolerance of about one inter-mode gap.
+    """
+
+    __slots__ = ("q", "count", "_initial", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._initial: list[float] = []
+        self._heights: list[float] | None = None
+        self._positions: list[float] = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired: list[float] = [
+            1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0
+        ]
+        self._increments: tuple[float, ...] = (
+            0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0
+        )
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(float(value))
+            if len(self._initial) == 5:
+                self._heights = sorted(self._initial)
+            return
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = float(value)
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = float(value)
+            cell = 3
+        else:
+            cell = 0
+            for i in range(1, 4):
+                if heights[i] <= value:
+                    cell = i
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            drift = self._desired[i] - positions[i]
+            if (drift >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                drift <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if drift > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not heights[i - 1] < candidate < heights[i + 1]:
+                    candidate = self._linear(i, step)
+                heights[i] = candidate
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate (exact below five observations, 0.0 empty)."""
+        if self._heights is None:
+            return percentile(self._initial, self.q) if self._initial else 0.0
+        return self._heights[2]
+
+
+class StreamingMetricsAccumulator:
+    """Single-pass replacement for the ``records`` list of a run.
+
+    The engines' streaming paths feed each finished
+    :class:`TransactionRecord` here and drop it, so a trace-scale run
+    never holds more than the in-flight window of transactions.  Running
+    sums and counts make every counter-style metric (success ratio,
+    volumes, message counts, per-class breakdowns) *exact*; the only
+    approximations are the quantile metrics (latency p50/p95, fee p50,
+    MPP latency p95), estimated by :class:`P2Quantile` — and the
+    elephant–mice split itself when the classification threshold is
+    estimated online rather than hinted.
+
+    ``track_fees`` / ``track_mpp`` mirror the conditions under which the
+    list-based path populates ``fees`` / ``mpp``, so
+    :meth:`result`'s record keeps the exact conditional field shape of
+    :meth:`SimulationResult.to_record`.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        engine: str = "sequential",
+        track_fees: bool = False,
+        track_mpp: bool = False,
+    ) -> None:
+        self.scheme = scheme
+        self.engine = engine
+        self.track_fees = track_fees
+        self.track_mpp = track_mpp
+        self.transactions = 0
+        self.succeeded = 0
+        self.attempted_volume = 0.0
+        self.success_volume = 0.0
+        self.probe_messages = 0
+        self.payment_messages = 0
+        self.total_fees = 0.0
+        self._class_count = [0, 0]  # [mice, elephant]
+        self._class_succeeded = [0, 0]
+        self._class_success_volume = [0.0, 0.0]
+        self._class_probe_messages = [0, 0]
+        self._latency_sum = 0.0
+        self._latency_p50 = P2Quantile(0.5)
+        self._latency_p95 = P2Quantile(0.95)
+        self.retries_total = 0
+        self.timeout_failures = 0
+        self._fee_p50 = P2Quantile(0.5)
+        self._mpp_payments = 0
+        self._mpp_parts_sum = 0
+        self._mpp_settled = 0
+        self._partial_releases = 0
+        self._mpp_latency_p95 = P2Quantile(0.95)
+
+    def observe(self, record: TransactionRecord) -> None:
+        self.transactions += 1
+        self.attempted_volume += record.amount
+        self.probe_messages += record.probe_messages
+        self.payment_messages += record.payment_messages
+        cls = 1 if record.is_elephant else 0
+        self._class_count[cls] += 1
+        self._class_probe_messages[cls] += record.probe_messages
+        self.retries_total += record.retries
+        if record.timed_out:
+            self.timeout_failures += 1
+        if record.success:
+            self.succeeded += 1
+            self.success_volume += record.amount
+            self.total_fees += record.fee
+            self._class_succeeded[cls] += 1
+            self._class_success_volume[cls] += record.amount
+            self._latency_sum += record.latency
+            self._latency_p50.observe(record.latency)
+            self._latency_p95.observe(record.latency)
+            # Always tracked (one O(1) update per success): the dynamic
+            # engine may flip track_fees mid-run when a fee controller
+            # attaches the first policies at a gossip tick.
+            self._fee_p50.observe(record.fee)
+        if self.track_mpp:
+            self._partial_releases += record.partial_releases
+            if record.parts > 1:
+                self._mpp_payments += 1
+                self._mpp_parts_sum += record.parts
+                if record.success:
+                    self._mpp_settled += 1
+                    self._mpp_latency_p95.observe(record.latency)
+
+    def result(
+        self,
+        revenue_by_node: Mapping[object, float] | None = None,
+        mice_threshold: float = 0.0,
+    ) -> "StreamingSimulationResult":
+        """Freeze the accumulated counters into a result object."""
+        fees: dict[str, float] = {}
+        if self.track_fees:
+            fees = {
+                "fee_paid_total": float(self.total_fees),
+                "fee_p50": float(self._fee_p50.value),
+                "hub_revenue": float(
+                    max(revenue_by_node.values(), default=0.0)
+                    if revenue_by_node
+                    else 0.0
+                ),
+            }
+        mpp: dict[str, float] = {}
+        if self.track_mpp:
+            mpp = {
+                "mpp_payments": float(self._mpp_payments),
+                "parts_per_payment": (
+                    self._mpp_parts_sum / self._mpp_payments
+                    if self._mpp_payments
+                    else 0.0
+                ),
+                "partial_release_count": float(self._partial_releases),
+                "mpp_success_ratio": (
+                    self._mpp_settled / self._mpp_payments
+                    if self._mpp_payments
+                    else 0.0
+                ),
+                "mpp_latency_p95": float(self._mpp_latency_p95.value),
+            }
+        mice, elephants = self._class_count
+        return StreamingSimulationResult(
+            scheme=self.scheme,
+            engine=self.engine,
+            transactions=float(self.transactions),
+            succeeded=float(self.succeeded),
+            success_ratio=(
+                self.succeeded / self.transactions if self.transactions else 0.0
+            ),
+            attempted_volume=self.attempted_volume,
+            success_volume=self.success_volume,
+            probe_messages=float(self.probe_messages),
+            payment_messages=float(self.payment_messages),
+            total_fees=self.total_fees,
+            fee_to_volume_percent=(
+                100.0 * self.total_fees / self.success_volume
+                if self.success_volume > 0
+                else 0.0
+            ),
+            mice_success_ratio=(
+                self._class_succeeded[0] / mice if mice else 0.0
+            ),
+            elephant_success_ratio=(
+                self._class_succeeded[1] / elephants if elephants else 0.0
+            ),
+            mice_success_volume=self._class_success_volume[0],
+            elephant_success_volume=self._class_success_volume[1],
+            mice_probe_messages=float(self._class_probe_messages[0]),
+            elephant_probe_messages=float(self._class_probe_messages[1]),
+            latency_p50=self._latency_p50.value,
+            latency_p95=self._latency_p95.value,
+            latency_mean=(
+                self._latency_sum / self.succeeded if self.succeeded else 0.0
+            ),
+            retries_total=float(self.retries_total),
+            timeout_failures=float(self.timeout_failures),
+            mice_threshold=mice_threshold,
+            fees=fees,
+            mpp=mpp,
+        )
+
+
+@dataclass(frozen=True)
+class StreamingSimulationResult:
+    """A run aggregated on the fly — no per-transaction records held.
+
+    Carries the same metric names as :class:`SimulationResult` (plain
+    fields where that class computes properties over ``records``), so it
+    mixes transparently into :meth:`AveragedMetrics.of` and persists
+    through an identically-shaped :meth:`to_record`.  ``resilience`` is
+    always empty: fault plans need the full ordered record list (see
+    :func:`repro.sim.faults.resilience_metrics`), so streaming runs
+    refuse fault injection rather than approximate it.
+    """
+
+    scheme: str
+    engine: str
+    transactions: float
+    succeeded: float
+    success_ratio: float
+    attempted_volume: float
+    success_volume: float
+    probe_messages: float
+    payment_messages: float
+    total_fees: float
+    fee_to_volume_percent: float
+    mice_success_ratio: float
+    elephant_success_ratio: float
+    mice_success_volume: float
+    elephant_success_volume: float
+    mice_probe_messages: float
+    elephant_probe_messages: float
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_mean: float = 0.0
+    retries_total: float = 0.0
+    timeout_failures: float = 0.0
+    #: The elephant–mice cutoff used for classification (hinted or
+    #: reservoir-estimated); informational, not persisted.
+    mice_threshold: float = 0.0
+    resilience: dict = field(default_factory=dict)
+    fees: dict = field(default_factory=dict)
+    mpp: dict = field(default_factory=dict)
+
+    @property
+    def fee_paid_total(self) -> float:
+        return float(self.fees.get("fee_paid_total", 0.0))
+
+    @property
+    def fee_p50(self) -> float:
+        return float(self.fees.get("fee_p50", 0.0))
+
+    @property
+    def hub_revenue(self) -> float:
+        return float(self.fees.get("hub_revenue", 0.0))
+
+    @property
+    def mpp_payments(self) -> float:
+        return float(self.mpp.get("mpp_payments", 0.0))
+
+    @property
+    def parts_per_payment(self) -> float:
+        return float(self.mpp.get("parts_per_payment", 0.0))
+
+    @property
+    def partial_release_count(self) -> float:
+        return float(self.mpp.get("partial_release_count", 0.0))
+
+    @property
+    def mpp_success_ratio(self) -> float:
+        return float(self.mpp.get("mpp_success_ratio", 0.0))
+
+    @property
+    def mpp_latency_p95(self) -> float:
+        return float(self.mpp.get("mpp_latency_p95", 0.0))
+
+    @property
+    def attack_success_ratio(self) -> float:
+        return float(self.resilience.get("attack_success_ratio", 0.0))
+
+    @property
+    def control_success_ratio(self) -> float:
+        return float(self.resilience.get("control_success_ratio", 0.0))
+
+    @property
+    def resilience_delta(self) -> float:
+        return float(self.resilience.get("resilience_delta", 0.0))
+
+    @property
+    def recovery_half_life(self) -> float:
+        return float(self.resilience.get("recovery_half_life", 0.0))
+
+    @property
+    def adversary_escrow(self) -> float:
+        return float(self.resilience.get("adversary_escrow", 0.0))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "transactions": float(self.transactions),
+            "success_ratio": self.success_ratio,
+            "success_volume": self.success_volume,
+            "probe_messages": float(self.probe_messages),
+            "payment_messages": float(self.payment_messages),
+            "fee_to_volume_percent": self.fee_to_volume_percent,
+        }
+
+    def to_record(self) -> dict[str, float]:
+        """Same conditional field shape as
+        :meth:`SimulationResult.to_record`."""
+        names = METRIC_FIELDS
+        if self.engine == "concurrent":
+            names = METRIC_FIELDS + CONCURRENT_METRIC_FIELDS
+        if self.resilience:
+            names = names + RESILIENCE_METRIC_FIELDS
+        if self.fees:
+            names = names + FEE_METRIC_FIELDS
+        if self.mpp:
+            names = names + MPP_METRIC_FIELDS
+        return {name: float(getattr(self, name)) for name in names}
+
+
 @dataclass(frozen=True)
 class StoredResult:
     """A run reloaded from the experiment store.

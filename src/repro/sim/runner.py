@@ -238,6 +238,8 @@ def _single_run(
     engine: str = "sequential",
     engine_params: Mapping[str, object] | None = None,
     mpp_params: Mapping[str, object] | None = None,
+    skip: set[str] | None = None,
+    on_result: Callable[[str, SimulationResult], None] | None = None,
 ) -> dict[str, SimulationResult]:
     """One seeded replication: every scheme on the same graph/workload.
 
@@ -251,6 +253,13 @@ def _single_run(
     :func:`repro.sim.concurrent.run_concurrent_simulation` instead
     (which handles events and faults natively); seeds are derived the
     same way for both engines.
+
+    ``skip`` names schemes to leave out (they are already stored —
+    safe because every scheme derives its RNG independently and gets
+    its own graph copy, so skipping one cannot perturb another).
+    ``on_result`` fires after each scheme completes — the write-through
+    checkpoint hook, so a kill mid-run loses at most the scheme in
+    flight rather than the whole run.
     """
     scenario_rng = random.Random(base_seed + 1_000_003 * run_index)
     built = scenario(scenario_rng)
@@ -274,6 +283,8 @@ def _single_run(
         mpp = MppConfig.from_params(mpp_params)
     results: dict[str, SimulationResult] = {}
     for name, factory in factories.items():
+        if skip and name in skip:
+            continue
         name_salt = zlib.crc32(name.encode("utf-8")) % 7_919
         router_rng = random.Random(base_seed + 7_919 * run_index + name_salt)
         if config is not None:
@@ -317,6 +328,8 @@ def _single_run(
                 reference_mice_fraction=reference_mice_fraction,
                 mpp=mpp,
             )
+        if on_result is not None:
+            on_result(name, results[name])
     return results
 
 
@@ -596,6 +609,40 @@ def run_comparison(
             fresh = dict(zip(pending, parallel_results))
         else:
             for run_index in pending:
+                # Scheme-granular resume: skip schemes already stored for
+                # this run and checkpoint each fresh scheme the moment it
+                # finishes, so a kill mid-run loses only the scheme in
+                # flight.  Safe because every scheme derives its RNG
+                # independently and simulates its own graph copy.
+                done = (
+                    {
+                        name
+                        for name in factories
+                        if _cell(name, run_index) in stored
+                    }
+                    if store is not None
+                    else set()
+                )
+
+                def _checkpoint(
+                    name: str,
+                    result: SimulationResult,
+                    run_index: int = run_index,
+                ) -> None:
+                    if store is None:
+                        return
+                    for record in _run_records(
+                        experiment,
+                        base_seed,
+                        run_index,
+                        digest,
+                        params,
+                        {name: result},
+                    ):
+                        if record["cell"] not in stored:
+                            store.append(record)
+                            stored[record["cell"]] = record
+
                 results = _single_run(
                     scenario,
                     factories,
@@ -605,21 +652,17 @@ def run_comparison(
                     engine=engine,
                     engine_params=engine_params,
                     mpp_params=mpp_params,
+                    skip=done,
+                    on_result=_checkpoint,
                 )
                 fresh[run_index] = results
-                if store is not None:
-                    for record in _run_records(
-                        experiment, base_seed, run_index, digest, params, results
-                    ):
-                        if record["cell"] not in stored:
-                            store.append(record)
-                            stored[record["cell"]] = record
 
     per_scheme: dict[str, list] = {name: [] for name in factories}
     for run_index in range(runs):
         for name in factories:
-            if run_index in fresh:
-                per_scheme[name].append(fresh[run_index][name])
+            result = fresh.get(run_index, {}).get(name)
+            if result is not None:
+                per_scheme[name].append(result)
             else:
                 record = stored[_cell(name, run_index)]
                 per_scheme[name].append(

@@ -52,6 +52,12 @@ class SizeSummary:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "SizeSummary":
+        if not values:
+            # An empty sample (e.g. a zero-transaction workload slice)
+            # summarizes to zeros, mirroring recurrence_summary's guards.
+            return cls(
+                count=0, median=0.0, p90=0.0, top_decile_volume_share=0.0
+            )
         return cls(
             count=len(values),
             median=percentile(values, 0.5),

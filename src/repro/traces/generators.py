@@ -14,7 +14,7 @@ inputs (§4.1):
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.network.channel import NodeId
 from repro.traces.distributions import (
@@ -28,6 +28,44 @@ from repro.traces.workload import Transaction, Workload
 SECONDS_PER_DAY = 86_400.0
 
 
+def stream_workload(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    n_transactions: int,
+    sizes: PaymentSizeDistribution,
+    transactions_per_day: float = 2_000.0,
+    pair_sampler: RecurrentPairSampler | None = None,
+) -> Iterator[Transaction]:
+    """Generator twin of :func:`generate_workload` — one transaction at a
+    time, identical RNG draw order, O(1) memory.
+
+    Validation (and pair-sampler construction, which may consume RNG
+    state) happens eagerly, so a bad parameter raises at the call site
+    rather than on first ``next()``.
+    """
+    if n_transactions < 0:
+        raise ValueError("n_transactions must be non-negative")
+    if transactions_per_day <= 0:
+        raise ValueError("transactions_per_day must be positive")
+    sampler = pair_sampler or RecurrentPairSampler(nodes, rng)
+    mean_gap = SECONDS_PER_DAY / transactions_per_day
+
+    def emit() -> Iterator[Transaction]:
+        now = 0.0
+        for txid in range(n_transactions):
+            now += rng.expovariate(1.0 / mean_gap)
+            sender, receiver = sampler.sample_pair()
+            yield Transaction(
+                txid=txid,
+                sender=sender,
+                receiver=receiver,
+                amount=sizes.sample(rng),
+                time=now,
+            )
+
+    return emit()
+
+
 def generate_workload(
     rng: random.Random,
     nodes: Sequence[NodeId],
@@ -37,27 +75,18 @@ def generate_workload(
     pair_sampler: RecurrentPairSampler | None = None,
 ) -> Workload:
     """Assemble a workload: sizes x recurrent pairs x Poisson arrivals."""
-    if n_transactions < 0:
-        raise ValueError("n_transactions must be non-negative")
-    if transactions_per_day <= 0:
-        raise ValueError("transactions_per_day must be positive")
-    sampler = pair_sampler or RecurrentPairSampler(nodes, rng)
-    mean_gap = SECONDS_PER_DAY / transactions_per_day
-    workload = Workload()
-    now = 0.0
-    for txid in range(n_transactions):
-        now += rng.expovariate(1.0 / mean_gap)
-        sender, receiver = sampler.sample_pair()
-        workload.append(
-            Transaction(
-                txid=txid,
-                sender=sender,
-                receiver=receiver,
-                amount=sizes.sample(rng),
-                time=now,
+    return Workload(
+        list(
+            stream_workload(
+                rng,
+                nodes,
+                n_transactions,
+                sizes,
+                transactions_per_day=transactions_per_day,
+                pair_sampler=pair_sampler,
             )
         )
-    return workload
+    )
 
 
 def _simulation_pair_sampler(
@@ -100,6 +129,23 @@ def generate_ripple_workload(
     )
 
 
+def stream_ripple_workload(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    n_transactions: int,
+    transactions_per_day: float = 2_000.0,
+) -> Iterator[Transaction]:
+    """Generator twin of :func:`generate_ripple_workload`."""
+    return stream_workload(
+        rng,
+        nodes,
+        n_transactions,
+        ripple_size_distribution(),
+        transactions_per_day=transactions_per_day,
+        pair_sampler=_simulation_pair_sampler(rng, nodes),
+    )
+
+
 def generate_lightning_workload(
     rng: random.Random,
     nodes: Sequence[NodeId],
@@ -112,6 +158,30 @@ def generate_lightning_workload(
         nodes,
         n_transactions,
         bitcoin_size_distribution(),
+        transactions_per_day=transactions_per_day,
+        pair_sampler=_simulation_pair_sampler(rng, nodes),
+    )
+
+
+def stream_lightning_workload(
+    rng: random.Random,
+    nodes: Sequence[NodeId],
+    n_transactions: int,
+    transactions_per_day: float = 2_000.0,
+    sizes: PaymentSizeDistribution | None = None,
+) -> Iterator[Transaction]:
+    """Generator twin of :func:`generate_lightning_workload`.
+
+    ``sizes`` optionally swaps the Bitcoin-calibrated mixture for any
+    sampler with the same interface — e.g. an
+    :class:`~repro.traces.distributions.EmpiricalValueDistribution`
+    loaded from a measured values CSV.
+    """
+    return stream_workload(
+        rng,
+        nodes,
+        n_transactions,
+        sizes if sizes is not None else bitcoin_size_distribution(),
         transactions_per_day=transactions_per_day,
         pair_sampler=_simulation_pair_sampler(rng, nodes),
     )

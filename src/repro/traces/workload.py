@@ -10,7 +10,7 @@ most importantly :meth:`Workload.threshold_for_mice_fraction`, which turns
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.network.channel import NodeId
@@ -97,6 +97,99 @@ class Workload:
     def head(self, n: int) -> "Workload":
         """The first ``n`` transactions as a new workload."""
         return Workload(self.transactions[:n])
+
+
+class WorkloadStream:
+    """A transaction stream: accepted everywhere :class:`Workload` is.
+
+    Where a :class:`Workload` materializes every transaction in a list,
+    a stream yields them one at a time in chronological order, so the
+    engines can replay trace-scale workloads (~1M payments, the
+    ``lightning-day`` scenario) in O(lookahead-window) memory.  Engines
+    detect a stream input and switch to their single-pass path with the
+    streaming metrics accumulator
+    (:class:`repro.sim.metrics.StreamingMetricsAccumulator`); list-backed
+    inputs take the unmodified list path, byte-identical to before
+    streams existed.
+
+    ``source`` is either
+
+    * a zero-argument callable returning a fresh iterator — the stream is
+      **re-streamable**: every ``iter()`` starts a new pass.  This is
+      what multi-scheme comparisons need (each scheme replays the same
+      stream), and what seeded generators provide naturally
+      (``WorkloadStream(lambda: stream_workload(random.Random(seed), ...))``);
+    * an iterable of :class:`Transaction` — strictly **single-pass**: a
+      second ``iter()`` raises rather than silently yielding nothing.
+
+    ``length`` is the known transaction count when the generator knows it
+    (all bundled generators do), or ``None``.  ``mice_threshold_hint``
+    optionally carries a precomputed elephant–mice cutoff; without it the
+    engines estimate the cutoff online from a seeded reservoir sample,
+    making the class-breakdown metrics approximate (headline
+    success/volume/message metrics are exact either way).
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Iterator[Transaction]] | Iterable[Transaction],
+        length: int | None = None,
+        mice_threshold_hint: float | None = None,
+    ) -> None:
+        if length is not None and length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        self._factory: Callable[[], Iterator[Transaction]] | None = None
+        self._iterator: Iterator[Transaction] | None = None
+        if callable(source):
+            self._factory = source
+        else:
+            self._iterator = iter(source)
+        self.length = length
+        self.mice_threshold_hint = mice_threshold_hint
+
+    @property
+    def restartable(self) -> bool:
+        """Whether every ``iter()`` starts a fresh pass."""
+        return self._factory is not None
+
+    def __iter__(self) -> Iterator[Transaction]:
+        if self._factory is not None:
+            return iter(self._factory())
+        if self._iterator is None:
+            raise RuntimeError(
+                "WorkloadStream already consumed; construct it from a "
+                "zero-argument callable source to make it re-streamable"
+            )
+        iterator, self._iterator = self._iterator, None
+        return iterator
+
+    def threshold_for_mice_fraction(self, mice_fraction: float) -> float:
+        """The hinted cutoff; raises without a hint (streams hold no list).
+
+        Engines never call this on a stream (they estimate online from a
+        reservoir instead); it exists so code written against the
+        :class:`Workload` interface fails loudly rather than silently.
+        """
+        if not 0.0 <= mice_fraction <= 1.0:
+            raise ValueError(
+                f"mice_fraction must be in [0, 1], got {mice_fraction}"
+            )
+        if self.mice_threshold_hint is None:
+            raise TypeError(
+                "a WorkloadStream has no materialized amounts; pass "
+                "mice_threshold_hint= or materialize() it first"
+            )
+        return self.mice_threshold_hint
+
+    def materialize(self, limit: int | None = None) -> Workload:
+        """Collect (up to ``limit``) transactions into a list-backed
+        :class:`Workload` — one pass of the stream."""
+        transactions: list[Transaction] = []
+        for transaction in self:
+            if limit is not None and len(transactions) >= limit:
+                break
+            transactions.append(transaction)
+        return Workload(transactions)
 
 
 def percentile(values: Sequence[float], q: float) -> float:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import EventBudgetError, ReproError
 from repro.protocol.events import EventQueue
 
 
@@ -53,5 +54,35 @@ class TestEventQueue:
             queue.schedule(1.0, forever)
 
         queue.schedule(1.0, forever)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(EventBudgetError):
             queue.run_until_idle(max_events=50)
+
+    def test_event_budget_error_is_library_and_runtime_error(self):
+        # The CLI catches ReproError; legacy callers caught RuntimeError.
+        assert issubclass(EventBudgetError, ReproError)
+        assert issubclass(EventBudgetError, RuntimeError)
+
+    def test_callable_budget_grows_while_draining(self):
+        queue = EventQueue()
+        budget = {"limit": 1}
+        seen = []
+
+        def feed(n):
+            seen.append(n)
+            if n < 4:
+                budget["limit"] += 1
+                queue.schedule(1.0, lambda: feed(n + 1))
+
+        queue.schedule(1.0, lambda: feed(0))
+        queue.run_until_idle(max_events=lambda: budget["limit"])
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_callable_budget_still_detects_livelock(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(1.0, forever)
+
+        queue.schedule(1.0, forever)
+        with pytest.raises(EventBudgetError):
+            queue.run_until_idle(max_events=lambda: 25)

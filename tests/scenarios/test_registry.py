@@ -16,7 +16,7 @@ from repro.scenarios.registry import (
     WORKLOADS,
 )
 from repro.sim.runner import resolve_scenario
-from repro.traces.workload import Workload
+from repro.traces.workload import Workload, WorkloadStream
 
 
 class TestParamSpec:
@@ -330,7 +330,14 @@ class TestCatalogRoundTrip:
         built = factory(random.Random(7))
         graph, workload = built[0], built[1]
         assert graph.num_nodes() > 0
-        assert isinstance(workload, Workload)
+        # Streaming scenarios build a WorkloadStream; it must be
+        # restartable (every scheme replays the same sequence) and
+        # materialize to the same shape a list workload has.
+        assert isinstance(workload, (Workload, WorkloadStream))
+        if isinstance(workload, WorkloadStream):
+            assert workload.restartable
+            assert workload.length == 5
+            workload = workload.materialize()
         assert len(workload) == 5
         nodes = set(graph.nodes)
         for txn in workload:

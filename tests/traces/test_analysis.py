@@ -52,6 +52,13 @@ class TestVolumeShare:
         assert summary.count == 5
         assert summary.median == 3.0
 
+    def test_empty_sample_summarizes_to_zeros(self):
+        # Regression: used to raise "percentile of empty sequence".
+        summary = SizeSummary.of([])
+        assert summary == SizeSummary(
+            count=0, median=0.0, p90=0.0, top_decile_volume_share=0.0
+        )
+
 
 class TestDailyWindows:
     def test_grouping(self):

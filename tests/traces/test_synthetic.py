@@ -103,6 +103,41 @@ class TestHotspot:
         with pytest.raises(ValueError):
             generate_hotspot_workload(rng, NODES, 10, hotspot_count=len(NODES))
 
+    def test_deterministic_per_seed(self):
+        a = generate_hotspot_workload(random.Random(9), NODES, 200)
+        b = generate_hotspot_workload(random.Random(9), NODES, 200)
+        assert [(t.sender, t.receiver, t.amount) for t in a] == [
+            (t.sender, t.receiver, t.amount) for t in b
+        ]
+
+    def test_sender_collision_resamples_without_rank_bias(self):
+        # Two nodes, two hotspots: every hotspot draw that lands on the
+        # sending hotspot must resample to the *other* hotspot via the
+        # renormalized Zipf weights.  The old next-rank redirect funneled
+        # every collision on hotspot 0 deterministically into hotspot 1;
+        # with resampling, the rank-1 hotspot's share over senders that
+        # ARE the rank-0 hotspot must be 100% (only option), while
+        # collisions on rank 1 must redistribute by weight, i.e. land on
+        # rank 0 roughly 1/(1) of the time — so we instead check the
+        # aggregate: conditioned on sender not being a hotspot, receiver
+        # frequencies still follow the 2:1 Zipf ratio.
+        nodes = list(range(40))
+        workload = generate_hotspot_workload(
+            random.Random(11),
+            nodes,
+            4_000,
+            hotspot_count=2,
+            hotspot_share=1.0,
+        )
+        counts: dict = {}
+        for txn in workload:
+            counts[txn.receiver] = counts.get(txn.receiver, 0) + 1
+        top_two = sorted(counts.values(), reverse=True)[:2]
+        # Zipf weights 1 : 1/2 → expected ratio ~2, loosened for noise
+        # (collision resampling nudges mass between the two hotspots).
+        assert 1.5 < top_two[0] / top_two[1] < 2.6
+        assert all(txn.sender != txn.receiver for txn in workload)
+
 
 class TestMixed:
     def test_mice_fraction_controls_split(self):
